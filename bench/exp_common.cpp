@@ -1,0 +1,118 @@
+#include "exp_common.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bench {
+
+int traditional_iterations(const std::string& task) {
+  if (task == "abr") return 6000;
+  if (task == "cc") return 600;
+  if (task == "lb") return 720;
+  throw std::invalid_argument("traditional_iterations: unknown task " + task);
+}
+
+genet::CurriculumOptions curriculum_options(const std::string& task,
+                                            std::uint64_t seed) {
+  genet::CurriculumOptions options;
+  options.rounds = 9;
+  options.iters_per_round = traditional_iterations(task) / options.rounds;
+  options.seed = seed;
+  return options;
+}
+
+genet::SearchOptions search_options() {
+  genet::SearchOptions options;
+  options.bo_trials = 15;
+  options.envs_per_eval = 10;
+  return options;
+}
+
+std::unique_ptr<genet::TaskAdapter> make_adapter(const std::string& task,
+                                                 int space) {
+  return make_adapter(task, space, genet::TraceMixOptions{});
+}
+
+std::unique_ptr<genet::TaskAdapter> make_adapter(
+    const std::string& task, int space, genet::TraceMixOptions traces) {
+  if (task == "abr") {
+    return std::make_unique<genet::AbrAdapter>(space, std::move(traces));
+  }
+  if (task == "cc") {
+    return std::make_unique<genet::CcAdapter>(space, std::move(traces));
+  }
+  if (task == "lb") return std::make_unique<genet::LbAdapter>(space);
+  throw std::invalid_argument("make_adapter: unknown task " + task);
+}
+
+std::vector<double> traditional_params(genet::ModelZoo& zoo,
+                                       const genet::TaskAdapter& adapter,
+                                       const std::string& task, int space,
+                                       std::uint64_t seed, int iterations) {
+  const std::string key = task + "-rl" + std::to_string(space) + "-seed" +
+                          std::to_string(seed) + "-it" +
+                          std::to_string(iterations);
+  return zoo.get_or_train(key, [&] {
+    std::fprintf(stderr, "[train] %s ...\n", key.c_str());
+    auto trainer = genet::train_traditional(adapter, iterations, seed);
+    return trainer->snapshot();
+  });
+}
+
+std::vector<double> genet_params(genet::ModelZoo& zoo,
+                                 const genet::TaskAdapter& adapter,
+                                 const std::string& task,
+                                 const std::string& baseline,
+                                 std::uint64_t seed) {
+  const std::string key =
+      task + "-genet-" + baseline + "-seed" + std::to_string(seed);
+  return curriculum_params(
+      zoo, adapter, key,
+      [&] {
+        return std::make_unique<genet::GenetScheme>(baseline,
+                                                    search_options());
+      },
+      seed);
+}
+
+std::vector<double> curriculum_params(
+    genet::ModelZoo& zoo, const genet::TaskAdapter& adapter,
+    const std::string& key,
+    const std::function<std::unique_ptr<genet::CurriculumScheme>()>&
+        make_scheme,
+    std::uint64_t seed) {
+  return zoo.get_or_train(key, [&] {
+    std::fprintf(stderr, "[train] %s ...\n", key.c_str());
+    genet::CurriculumTrainer trainer(adapter, make_scheme(),
+                                     curriculum_options(adapter.name(), seed));
+    trainer.run();
+    return trainer.trainer().snapshot();
+  });
+}
+
+std::unique_ptr<rl::MlpPolicy> make_policy(const genet::TaskAdapter& adapter,
+                                           const std::vector<double>& params) {
+  netgym::Rng init_rng(0);
+  rl::TrainerOptions defaults;
+  auto policy = std::make_unique<rl::MlpPolicy>(
+      adapter.obs_size(), adapter.action_count(), defaults.hidden, init_rng);
+  policy->restore(params);
+  policy->set_greedy(true);
+  return policy;
+}
+
+void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width, int precision) {
+  std::printf("%-28s", label.c_str());
+  for (double v : values) std::printf(" %*.*f", width, precision, v);
+  std::printf("\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,77 @@
+#pragma once
+
+// Shared machinery of the experiment harnesses in bench/. Each binary
+// regenerates one table or figure of the paper; models that several figures
+// share (the RL1/RL2/RL3 and Genet policies per task) are trained once and
+// cached in a ModelZoo directory (./genet_models by default, override with
+// GENET_MODEL_DIR). Training is deterministic from the seed, so a cold
+// cache reproduces identical numbers.
+//
+// Budgets are scaled to a single core (see DESIGN.md S4, substitution 6):
+// the paper trained on clusters; we keep the comparative structure, not the
+// absolute sample counts.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "genet/zoo.hpp"
+#include "rl/policy.hpp"
+
+namespace bench {
+
+/// Per-task training budgets (iterations of the task's trainer).
+int traditional_iterations(const std::string& task);
+
+/// Curriculum schedule with the same total training budget as the
+/// traditional runs: 9 rounds (S4.2) of budget/9 iterations.
+genet::CurriculumOptions curriculum_options(const std::string& task,
+                                            std::uint64_t seed);
+
+/// BO search options used by every curriculum harness (paper defaults:
+/// 15 trials, k = 10 envs per gap estimate).
+genet::SearchOptions search_options();
+
+/// Adapter factory: task in {"abr", "cc", "lb"}, space in 1..3.
+std::unique_ptr<genet::TaskAdapter> make_adapter(const std::string& task,
+                                                 int space);
+std::unique_ptr<genet::TaskAdapter> make_adapter(
+    const std::string& task, int space, genet::TraceMixOptions traces);
+
+/// Train (or load from the zoo) a traditionally trained policy on the given
+/// space; key example: "abr-rl3-seed1-it3000".
+std::vector<double> traditional_params(genet::ModelZoo& zoo,
+                                       const genet::TaskAdapter& adapter,
+                                       const std::string& task, int space,
+                                       std::uint64_t seed, int iterations);
+
+/// Train (or load) a Genet-curriculum policy guided by `baseline`.
+std::vector<double> genet_params(genet::ModelZoo& zoo,
+                                 const genet::TaskAdapter& adapter,
+                                 const std::string& task,
+                                 const std::string& baseline,
+                                 std::uint64_t seed);
+
+/// Train (or load) a policy under an arbitrary curriculum scheme; the key
+/// must uniquely describe the scheme.
+std::vector<double> curriculum_params(
+    genet::ModelZoo& zoo, const genet::TaskAdapter& adapter,
+    const std::string& key,
+    const std::function<std::unique_ptr<genet::CurriculumScheme>()>&
+        make_scheme,
+    std::uint64_t seed);
+
+/// Greedy policy wrapping cached parameters.
+std::unique_ptr<rl::MlpPolicy> make_policy(const genet::TaskAdapter& adapter,
+                                           const std::vector<double>& params);
+
+/// Pretty-printing helpers: every harness leads with the experiment id and
+/// what the paper's version of the plot shows.
+void print_header(const std::string& experiment, const std::string& claim);
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width = 10, int precision = 3);
+
+}  // namespace bench

@@ -1,0 +1,74 @@
+// Backend cross-validation scenario: run the same rule-based congestion
+// controllers over the same links on BOTH simulator backends -- the fluid
+// 10 ms-slice model (cc::CcEnv) and the discrete-event per-packet model
+// (cc::PacketCcEnv) -- and print the aggregate statistics side by side.
+// Agreement between the two backends is what justifies training on the
+// cheap fluid model (DESIGN.md); this executable makes the comparison
+// visible on demand.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cc/baselines.hpp"
+#include "cc/env.hpp"
+#include "cc/packet_sim.hpp"
+#include "netgym/trace.hpp"
+
+namespace {
+
+std::unique_ptr<netgym::Policy> make_controller(const std::string& name) {
+  if (name == "cubic") return std::make_unique<cc::CubicPolicy>();
+  if (name == "bbr") return std::make_unique<cc::BbrPolicy>();
+  if (name == "vivace") return std::make_unique<cc::VivacePolicy>();
+  return std::make_unique<cc::CopaPolicy>();
+}
+
+struct Outcome {
+  double thpt_mbps = 0.0;
+  double latency_ms = 0.0;
+  double loss_pct = 0.0;
+};
+
+template <typename EnvT>
+Outcome run_backend(EnvT& env, netgym::Policy& policy, double duration_s) {
+  netgym::Rng rng(7);
+  netgym::run_episode(env, policy, rng);
+  return {env.totals().mean_throughput_mbps(duration_s),
+          env.totals().mean_latency_s() * 1000.0,
+          env.totals().loss_fraction() * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  const double bandwidths[] = {2.0, 8.0, 25.0};
+  const char* controllers[] = {"cubic", "bbr", "vivace", "copa"};
+
+  std::printf("%-8s %-8s | %12s %12s | %12s %12s | %8s %8s\n", "link",
+              "scheme", "fluid Mbps", "packet Mbps", "fluid ms", "packet ms",
+              "fl loss%", "pk loss%");
+  for (double bw : bandwidths) {
+    cc::CcEnvConfig config;
+    config.max_bw_mbps = bw;
+    config.min_rtt_ms = 60.0;
+    config.queue_packets = 40.0;
+    netgym::Rng trace_rng(3);
+    const netgym::Trace trace = netgym::generate_cc_trace(
+        {bw, 5.0, config.duration_s}, trace_rng);
+    for (const char* name : controllers) {
+      auto p1 = make_controller(name);
+      auto p2 = make_controller(name);
+      cc::CcEnv fluid(config, trace, 1);
+      cc::PacketCcEnv packet(config, trace, 1);
+      const Outcome f = run_backend(fluid, *p1, config.duration_s);
+      const Outcome k = run_backend(packet, *p2, config.duration_s);
+      std::printf("%-8.1f %-8s | %12.2f %12.2f | %12.1f %12.1f | %8.2f %8.2f\n",
+                  bw, name, f.thpt_mbps, k.thpt_mbps, f.latency_ms,
+                  k.latency_ms, f.loss_pct, k.loss_pct);
+    }
+  }
+  std::printf("\nfluid = 10 ms fluid-queue integration, packet = per-packet "
+              "discrete-event simulation (same trace, same controller).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Split bench_output.txt into per-experiment CSV files.
+
+The experiment harnesses print human-readable tables; this script slices the
+combined output back into one block per experiment and converts every
+whitespace-aligned table row into CSV, so the figures can be re-plotted with
+any tool. Pure stdlib, no dependencies.
+
+Usage:
+    python3 scripts/bench_to_csv.py [bench_output.txt] [output_dir]
+"""
+
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title.lower()).strip("_")
+    return slug[:60]
+
+
+def split_experiments(lines):
+    """Yield (title, block_lines) for each ====-delimited experiment."""
+    title = None
+    block = []
+    i = 0
+    while i < len(lines):
+        if lines[i].startswith("====") and i + 1 < len(lines):
+            if title is not None:
+                yield title, block
+            title = lines[i + 1].strip()
+            block = []
+            # Skip the header: title line, "paper:" line(s), closing ====.
+            i += 2
+            while i < len(lines) and not lines[i].startswith("===="):
+                i += 1
+            i += 1
+            continue
+        if title is not None:
+            block.append(lines[i].rstrip("\n"))
+        i += 1
+    if title is not None:
+        yield title, block
+
+
+def table_rows(block):
+    """Convert aligned table lines into CSV rows (best effort)."""
+    rows = []
+    for line in block:
+        if not line.strip() or line.startswith("[train]"):
+            continue
+        # Split on runs of 2+ spaces so multi-word labels stay together.
+        cells = [c.strip() for c in re.split(r"\s{2,}", line.strip()) if c.strip()]
+        if len(cells) >= 2:
+            rows.append(cells)
+    return rows
+
+
+def main() -> int:
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    with open(src, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    os.makedirs(out_dir, exist_ok=True)
+    count = 0
+    for title, block in split_experiments(lines):
+        rows = table_rows(block)
+        if not rows:
+            continue
+        path = os.path.join(out_dir, slugify(title) + ".csv")
+        with open(path, "w", encoding="utf-8") as out:
+            for cells in rows:
+                out.write(",".join(c.replace(",", ";") for c in cells) + "\n")
+        count += 1
+    print(f"wrote {count} CSV files to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "abr/env.hpp"
+#include "netgym/env.hpp"
+
+namespace abr {
+
+/// Buffer-Based Adaptation (BBA [23]): maps the current playback-buffer
+/// occupancy linearly onto the bitrate ladder between a reservoir and an
+/// upper threshold, both derived from the player's buffer capacity (the BBA
+/// paper's reservoir/cushion scheme). Deterministic and stateless.
+class BbaPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// RobustMPC [57]: model-predictive control over a short lookahead horizon.
+/// Throughput is predicted as the harmonic mean of recent measurements,
+/// discounted by the maximum recent prediction error (the "robust" part);
+/// the policy enumerates bitrate sequences over the horizon and picks the
+/// first step of the sequence with the best predicted Table-1 reward.
+class RobustMpcPolicy : public netgym::Policy {
+ public:
+  explicit RobustMpcPolicy(int horizon = 5);
+
+  void begin_episode() override;
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+ private:
+  double predict_throughput_mbps(const netgym::Observation& obs);
+
+  int horizon_;
+  double last_prediction_mbps_ = 0.0;
+  double max_error_ = 0.0;
+};
+
+/// Oboe [5] (simplified): auto-tunes the MPC throughput discount from the
+/// observed mean and variance of recent throughput, instead of RobustMPC's
+/// online error tracking. The paper calls Oboe "a very competitive
+/// baseline" (footnote 3) and plots it in Fig. 17.
+class OboePolicy : public netgym::Policy {
+ public:
+  explicit OboePolicy(int horizon = 5);
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+ private:
+  int horizon_;
+};
+
+/// The deliberately unreasonable ABR baseline of S5.4 ("choosing the highest
+/// bitrate when rebuffer"): requests the top ladder rate whenever the buffer
+/// is nearly empty and the bottom rate otherwise. Used to show what happens
+/// when Genet is guided by a naive baseline.
+class NaiveAbrPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// Fixed-bitrate policy (useful reference and test fixture).
+class ConstantBitratePolicy : public netgym::Policy {
+ public:
+  explicit ConstantBitratePolicy(int bitrate_index);
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+ private:
+  int bitrate_index_;
+};
+
+}  // namespace abr

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <memory>
+
+#include "abr/video.hpp"
+#include "netgym/config.hpp"
+#include "netgym/env.hpp"
+#include "netgym/trace.hpp"
+
+namespace abr {
+
+/// Reward weights of Table 1: sum_i (alpha*Rebuf_i + beta*Bitrate_i +
+/// gamma*|BitrateChange_i|) / n, rebuffering in seconds, bitrates in Mbps.
+struct RewardWeights {
+  double alpha_rebuffer = -10.0;
+  double beta_bitrate = 1.0;
+  double gamma_change = -1.0;
+};
+
+/// Environment parameters of the ABR simulator (Table 3 plus the BW min/max
+/// ratio swept in Fig. 10). `bw_min_ratio` sets the trace generator's minimum
+/// bandwidth as a fraction of `max_bw_mbps`.
+struct AbrEnvConfig {
+  double max_buffer_s = 60.0;
+  double chunk_length_s = 4.0;
+  double min_rtt_ms = 80.0;
+  double video_length_s = 196.0;
+  double bw_change_interval_s = 5.0;
+  double max_bw_mbps = 5.0;
+  /// The paper's example configurations use bandwidth ranges like
+  /// "0-5 Mbps"; a small floor ratio keeps downloads finite while producing
+  /// comparably swingy links.
+  double bw_min_ratio = 0.2;
+  RewardWeights reward;
+};
+
+/// The 6-dimensional ABR configuration space of Table 3. `which` selects the
+/// RL1 / RL2 / RL3 ranges (1, 2, or 3).
+netgym::ConfigSpace abr_config_space(int which);
+
+/// Convert a point of `abr_config_space` into simulator parameters
+/// (`bw_min_ratio` stays at its default; Fig. 10 sweeps it directly).
+AbrEnvConfig abr_config_from_point(const netgym::Config& point);
+netgym::Config abr_point_from_config(const AbrEnvConfig& cfg);
+
+/// Chunk-level video-streaming simulator in the style of Pensieve's.
+///
+/// Each step downloads one chunk at the chosen ladder bitrate over the
+/// bandwidth trace (plus one `min_rtt` of request latency), advances the
+/// playback buffer, and emits the Table-1 reward. The trace wraps around if
+/// the video outlasts it. Episodes run for the whole video.
+///
+/// Observation layout (all features scaled to roughly O(1)):
+///   [0]                     last bitrate index / 5
+///   [1]                     playback buffer (s) / 30
+///   [2 .. 2+H-1]            throughput history, log10(1 + Mbps), oldest first
+///   [2+H .. 2+2H-1]         download-time history, log10(1 + s), oldest first
+///   [2+2H .. 2+2H+B-1]      next chunk sizes (MB) per ladder index
+///   [2+2H+B]                fraction of chunks remaining
+///   [2+2H+B+1]              chunk length (s) / 10
+///   [2+2H+B+2]              min RTT (s)
+///   [2+2H+B+3]              max playback buffer (s) / 100
+/// with H = kThroughputHistory and B = kBitrateCount.
+class AbrEnv : public netgym::Env {
+ public:
+  static constexpr int kThroughputHistory = 8;
+  static constexpr int kObsSize = 2 + 2 * kThroughputHistory + kBitrateCount + 4;
+
+  // Named observation indices for rule-based policies.
+  static constexpr int kObsLastBitrate = 0;
+  static constexpr int kObsBuffer = 1;
+  static constexpr int kObsThroughputHist = 2;
+  static constexpr int kObsDelayHist = 2 + kThroughputHistory;
+  static constexpr int kObsNextSizes = 2 + 2 * kThroughputHistory;
+  static constexpr int kObsRemaining = kObsNextSizes + kBitrateCount;
+  static constexpr int kObsChunkLength = kObsRemaining + 1;
+  static constexpr int kObsMinRtt = kObsChunkLength + 1;
+  static constexpr int kObsMaxBuffer = kObsMinRtt + 1;
+
+  /// Build an environment over an explicit bandwidth trace (trace-driven
+  /// envs) with chunk sizes derived from `seed`.
+  AbrEnv(AbrEnvConfig config, netgym::Trace trace, std::uint64_t seed);
+
+  netgym::Observation reset() override;
+  StepResult step(int action) override;
+  int action_count() const override { return kBitrateCount; }
+  std::size_t observation_size() const override { return kObsSize; }
+
+  const AbrEnvConfig& config() const { return config_; }
+  const Video& video() const { return video_; }
+  const netgym::Trace& trace() const { return trace_; }
+
+  double buffer_s() const { return buffer_s_; }
+  double clock_s() const { return clock_s_; }
+  int next_chunk() const { return next_chunk_; }
+
+  /// Per-episode QoE breakdown (the quantities of Table 6): accumulated
+  /// since the last reset().
+  struct Totals {
+    double bitrate_mbps_sum = 0.0;
+    double rebuffer_s_sum = 0.0;
+    double change_mbps_sum = 0.0;
+    int chunks = 0;
+    double mean_bitrate_mbps() const {
+      return chunks > 0 ? bitrate_mbps_sum / chunks : 0.0;
+    }
+    double mean_rebuffer_s() const {
+      return chunks > 0 ? rebuffer_s_sum / chunks : 0.0;
+    }
+    double mean_change_mbps() const {
+      return chunks > 0 ? change_mbps_sum / chunks : 0.0;
+    }
+    /// Rebuffering time as a fraction of played video time.
+    double rebuffer_ratio(double chunk_length_s) const {
+      const double played = chunks * chunk_length_s;
+      return played > 0 ? rebuffer_s_sum / played : 0.0;
+    }
+  };
+  const Totals& totals() const { return totals_; }
+
+  /// Wall-clock seconds to download `bits` starting at trace time `start_s`
+  /// (includes the request RTT). Deterministic; used by the offline optimal.
+  double download_time_s(double bits, double start_s) const;
+
+  /// Pure chunk-download transition: the exact dynamics of `step`, exposed so
+  /// offline planners (the beam-search optimal, MPC variants) replay the same
+  /// physics without mutating the environment.
+  struct ChunkOutcome {
+    double clock_s = 0.0;
+    double buffer_s = 0.0;
+    double delay_s = 0.0;
+    double rebuffer_s = 0.0;
+    double reward = 0.0;
+  };
+  ChunkOutcome chunk_transition(double clock_s, double buffer_s,
+                                int last_bitrate, bool started, int chunk,
+                                int action) const;
+
+ private:
+  void push_history(double throughput_mbps, double delay_s);
+  netgym::Observation make_observation() const;
+
+  AbrEnvConfig config_;
+  netgym::Trace trace_;
+  Video video_;
+  double clock_s_ = 0.0;
+  double buffer_s_ = 0.0;
+  int next_chunk_ = 0;
+  int last_bitrate_ = 0;
+  bool started_ = false;
+  bool done_ = true;
+  std::vector<double> throughput_hist_mbps_;
+  std::vector<double> delay_hist_s_;
+  Totals totals_;
+};
+
+/// Synthesize the trace for `config` (Appendix A.2 generator) and build an
+/// environment on it. This is the "N random envs per config" step: both trace
+/// and chunk sizes come from `rng`.
+std::unique_ptr<AbrEnv> make_abr_env(const AbrEnvConfig& config,
+                                     netgym::Rng& rng);
+
+/// Trace-driven variant: the recorded bandwidth is replayed, every other
+/// parameter comes from `config`.
+std::unique_ptr<AbrEnv> make_abr_env(const AbrEnvConfig& config,
+                                     const netgym::Trace& trace,
+                                     netgym::Rng& rng);
+
+}  // namespace abr

@@ -1,0 +1,72 @@
+#include "abr/optimal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abr {
+
+namespace {
+
+struct BeamState {
+  double clock_s = 0.0;
+  double buffer_s = 0.0;
+  int last_bitrate = 0;
+  bool started = false;
+  double reward = 0.0;
+  std::vector<int> choices;
+};
+
+}  // namespace
+
+OptimalPlan offline_optimal(const AbrEnv& env, int beam_width) {
+  if (beam_width <= 0) {
+    throw std::invalid_argument("offline_optimal: beam_width must be > 0");
+  }
+  const int chunks = env.video().num_chunks();
+  std::vector<BeamState> beam{BeamState{}};
+  std::vector<BeamState> next;
+  next.reserve(static_cast<std::size_t>(beam_width) * kBitrateCount);
+
+  for (int chunk = 0; chunk < chunks; ++chunk) {
+    next.clear();
+    for (const BeamState& state : beam) {
+      for (int action = 0; action < kBitrateCount; ++action) {
+        const AbrEnv::ChunkOutcome out =
+            env.chunk_transition(state.clock_s, state.buffer_s,
+                                 state.last_bitrate, state.started, chunk,
+                                 action);
+        BeamState child;
+        child.clock_s = out.clock_s;
+        child.buffer_s = out.buffer_s;
+        child.last_bitrate = action;
+        child.started = true;
+        child.reward = state.reward + out.reward;
+        child.choices = state.choices;
+        child.choices.push_back(action);
+        next.push_back(std::move(child));
+      }
+    }
+    if (static_cast<int>(next.size()) > beam_width) {
+      // Keep the best `beam_width` states by accumulated reward; break ties
+      // toward larger buffers (more future slack).
+      std::partial_sort(next.begin(), next.begin() + beam_width, next.end(),
+                        [](const BeamState& a, const BeamState& b) {
+                          if (a.reward != b.reward) return a.reward > b.reward;
+                          return a.buffer_s > b.buffer_s;
+                        });
+      next.resize(static_cast<std::size_t>(beam_width));
+    }
+    beam.swap(next);
+  }
+
+  const auto best = std::max_element(
+      beam.begin(), beam.end(),
+      [](const BeamState& a, const BeamState& b) { return a.reward < b.reward; });
+  OptimalPlan plan;
+  plan.bitrates = best->choices;
+  plan.total_reward = best->reward;
+  plan.mean_reward = chunks > 0 ? best->reward / chunks : 0.0;
+  return plan;
+}
+
+}  // namespace abr

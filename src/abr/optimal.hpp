@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "abr/env.hpp"
+
+namespace abr {
+
+/// Result of the offline planner: the bitrate sequence it chose and the
+/// total / per-chunk reward that sequence achieves under the environment's
+/// exact dynamics.
+struct OptimalPlan {
+  std::vector<int> bitrates;
+  double total_reward = 0.0;
+  double mean_reward = 0.0;
+};
+
+/// Offline near-optimal ABR plan via beam search with full knowledge of the
+/// bandwidth trace and chunk sizes ("Strawman 3"'s ground-truth optimum,
+/// S3). Each beam state tracks (clock, buffer, last bitrate, reward) and is
+/// advanced through `AbrEnv::chunk_transition`, i.e. the same physics the
+/// live environment applies, so the plan's reward is exactly attainable.
+///
+/// Beam search with a few dozen states is within a fraction of a percent of
+/// exhaustive DP on these horizons while staying cheap enough to call inside
+/// curriculum search loops.
+OptimalPlan offline_optimal(const AbrEnv& env, int beam_width = 64);
+
+}  // namespace abr

@@ -1,0 +1,48 @@
+#include "abr/video.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "netgym/rng.hpp"
+
+namespace abr {
+
+double bitrate_kbps(int index) {
+  if (index < 0 || index >= kBitrateCount) {
+    throw std::out_of_range("bitrate_kbps: ladder index out of range");
+  }
+  return kBitratesKbps[index];
+}
+
+double bitrate_mbps(int index) { return bitrate_kbps(index) / 1000.0; }
+
+Video::Video(double length_s, double chunk_length_s, std::uint64_t size_seed)
+    : chunk_length_s_(chunk_length_s) {
+  if (length_s <= 0 || chunk_length_s <= 0) {
+    throw std::invalid_argument("Video: lengths must be > 0");
+  }
+  const int chunks = static_cast<int>(std::ceil(length_s / chunk_length_s));
+  netgym::Rng rng(size_seed);
+  sizes_bits_.resize(static_cast<std::size_t>(chunks));
+  for (auto& per_bitrate : sizes_bits_) {
+    per_bitrate.resize(kBitrateCount);
+    const double noise = rng.uniform(0.9, 1.1);
+    for (int b = 0; b < kBitrateCount; ++b) {
+      per_bitrate[static_cast<std::size_t>(b)] =
+          kBitratesKbps[b] * 1000.0 * chunk_length_s * noise;
+    }
+  }
+}
+
+double Video::chunk_size_bits(int chunk, int bitrate_index) const {
+  if (chunk < 0 || chunk >= num_chunks()) {
+    throw std::out_of_range("Video::chunk_size_bits: chunk out of range");
+  }
+  if (bitrate_index < 0 || bitrate_index >= kBitrateCount) {
+    throw std::out_of_range("Video::chunk_size_bits: bitrate out of range");
+  }
+  return sizes_bits_[static_cast<std::size_t>(chunk)]
+                    [static_cast<std::size_t>(bitrate_index)];
+}
+
+}  // namespace abr

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace abr {
+
+/// The bitrate ladder of the test video, in kbps. This matches the
+/// "EnvivioDash3" ladder used by the Pensieve testbed the paper builds on.
+inline constexpr int kBitrateCount = 6;
+inline constexpr double kBitratesKbps[kBitrateCount] = {300.0,  750.0,
+                                                        1200.0, 1850.0,
+                                                        2850.0, 4300.0};
+
+double bitrate_kbps(int index);
+double bitrate_mbps(int index);
+
+/// A pre-encoded video: per-chunk, per-bitrate sizes in bits. Sizes are the
+/// nominal `bitrate * chunk_length` perturbed by +/-10% multiplicative noise
+/// per chunk (real encoders produce variable-size chunks); the whole table is
+/// generated up front so model-predictive and offline-optimal policies can
+/// inspect future chunks, as in the real system where a DASH manifest lists
+/// all chunk sizes.
+class Video {
+ public:
+  /// Builds a video of ceil(length_s / chunk_length_s) chunks.
+  Video(double length_s, double chunk_length_s, std::uint64_t size_seed);
+
+  int num_chunks() const { return static_cast<int>(sizes_bits_.size()); }
+  double chunk_length_s() const { return chunk_length_s_; }
+
+  /// Size in bits of `chunk` at ladder index `bitrate_index`.
+  double chunk_size_bits(int chunk, int bitrate_index) const;
+
+ private:
+  double chunk_length_s_;
+  // sizes_bits_[chunk][bitrate]
+  std::vector<std::vector<double>> sizes_bits_;
+};
+
+}  // namespace abr

@@ -1,0 +1,123 @@
+#include "bo/gp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bo {
+
+GaussianProcess::GaussianProcess(Options options) : options_(options) {
+  if (options_.length_scale <= 0 || options_.signal_variance <= 0 ||
+      options_.noise_variance < 0) {
+    throw std::invalid_argument("GaussianProcess: invalid options");
+  }
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  const double l2 = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * sq / l2);
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& points,
+                          const std::vector<double>& targets) {
+  if (points.empty() || points.size() != targets.size()) {
+    throw std::invalid_argument("GaussianProcess::fit: bad shapes");
+  }
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      throw std::invalid_argument("GaussianProcess::fit: ragged points");
+    }
+  }
+  points_ = points;
+
+  // Standardize targets.
+  const auto n = points.size();
+  double mean = 0.0;
+  for (double y : targets) mean += y;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double y : targets) var += (y - mean) * (y - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = std::sqrt(std::max(var, 1e-12));
+
+  // K + noise*I, then its Cholesky factor (lower triangular, row-major).
+  chol_.assign(n * n, 0.0);
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(points_[i], points_[j]) +
+                       (i == j ? options_.noise_variance : 0.0);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = k[i * n + j];
+      for (std::size_t m = 0; m < j; ++m) {
+        sum -= chol_[i * n + m] * chol_[j * n + m];
+      }
+      if (i == j) {
+        if (sum <= 1e-12) sum = 1e-12;  // jitter against degeneracy
+        chol_[i * n + i] = std::sqrt(sum);
+      } else {
+        chol_[i * n + j] = sum / chol_[j * n + j];
+      }
+    }
+  }
+
+  // alpha = K^-1 y_std  via forward/back substitution.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = (targets[i] - y_mean_) / y_std_;
+    for (std::size_t m = 0; m < i; ++m) sum -= chol_[i * n + m] * z[m];
+    z[i] = sum / chol_[i * n + i];
+  }
+  alpha_.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = z[i];
+    for (std::size_t m = i + 1; m < n; ++m) {
+      sum -= chol_[m * n + i] * alpha_[m];
+    }
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(
+    const std::vector<double>& x) const {
+  if (!fitted()) {
+    // Prior: zero mean (in standardized units), full signal variance.
+    return {y_mean_, options_.signal_variance};
+  }
+  const auto n = points_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(points_[i], x);
+
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += kstar[i] * alpha_[i];
+
+  // v = L^-1 k*; var = k(x,x) - v.v
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = kstar[i];
+    for (std::size_t m = 0; m < i; ++m) sum -= chol_[i * n + m] * v[m];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double var_std = kernel(x, x);
+  for (std::size_t i = 0; i < n; ++i) var_std -= v[i] * v[i];
+  var_std = std::max(var_std, 0.0);
+
+  Prediction p;
+  p.mean = y_mean_ + mean_std * y_std_;
+  p.variance = var_std * y_std_ * y_std_;
+  return p;
+}
+
+}  // namespace bo

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+namespace bo {
+
+/// Gaussian-process regression with an RBF (squared-exponential) kernel over
+/// the unit cube, the surrogate model behind the Bayesian-optimization
+/// search of S4.2. Targets are standardized internally, so the kernel's
+/// signal variance is relative to the observed spread.
+class GaussianProcess {
+ public:
+  struct Options {
+    double length_scale = 0.25;
+    double signal_variance = 1.0;
+    double noise_variance = 1e-2;
+  };
+
+  GaussianProcess() : GaussianProcess(Options{}) {}
+  explicit GaussianProcess(Options options);
+
+  /// Fit to observations (points in [0,1]^d, one target each). Replaces any
+  /// previous fit. Throws if shapes are inconsistent or `points` is empty.
+  void fit(const std::vector<std::vector<double>>& points,
+           const std::vector<double>& targets);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  /// Posterior prediction at `x` (in the original target units).
+  Prediction predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !points_.empty(); }
+  std::size_t num_points() const { return points_.size(); }
+
+ private:
+  double kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  Options options_;
+  std::vector<std::vector<double>> points_;
+  std::vector<double> alpha_;       // K^-1 (y - mean) in standardized units
+  std::vector<double> chol_;        // lower-triangular Cholesky factor of K
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+}  // namespace bo

@@ -1,0 +1,131 @@
+#include "bo/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bo {
+
+namespace {
+
+/// Standard normal pdf/cdf for Expected Improvement.
+double norm_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+void Maximizer::update(const std::vector<double>& x, double value) {
+  points_.push_back(x);
+  values_.push_back(value);
+  if (value > best_value_) {
+    best_value_ = value;
+    best_point_ = x;
+  }
+}
+
+BayesianOptimizer::BayesianOptimizer(int dims, std::uint64_t seed,
+                                     Options options)
+    : dims_(dims), options_(options), rng_(seed), gp_(options.gp) {
+  if (dims <= 0) {
+    throw std::invalid_argument("BayesianOptimizer: dims must be > 0");
+  }
+}
+
+double BayesianOptimizer::acquisition_value(
+    const GaussianProcess::Prediction& p) const {
+  const double sigma = std::sqrt(std::max(p.variance, 1e-12));
+  if (options_.acquisition == Acquisition::kUpperConfidenceBound) {
+    return p.mean + options_.ucb_kappa * sigma;
+  }
+  const double improvement = p.mean - best_value_ - options_.xi;
+  const double z = improvement / sigma;
+  return improvement * norm_cdf(z) + sigma * norm_pdf(z);
+}
+
+std::vector<double> BayesianOptimizer::propose() {
+  if (num_evaluations() < options_.initial_random) {
+    std::vector<double> x(static_cast<std::size_t>(dims_));
+    for (double& v : x) v = rng_.uniform(0.0, 1.0);
+    return x;
+  }
+  if (gp_dirty_) {
+    gp_.fit(points_, values_);
+    gp_dirty_ = false;
+  }
+  std::vector<double> best_candidate;
+  double best_ei = -1e300;
+  for (int c = 0; c < options_.candidates; ++c) {
+    std::vector<double> x(static_cast<std::size_t>(dims_));
+    if (c % 4 == 0 && !best_point_.empty()) {
+      // Local jitter around the incumbent to refine promising regions.
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = std::clamp(best_point_[i] + rng_.gaussian(0.0, 0.08), 0.0, 1.0);
+      }
+    } else {
+      for (double& v : x) v = rng_.uniform(0.0, 1.0);
+    }
+    const double score = acquisition_value(gp_.predict(x));
+    if (score > best_ei) {
+      best_ei = score;
+      best_candidate = std::move(x);
+    }
+  }
+  return best_candidate;
+}
+
+void BayesianOptimizer::update(const std::vector<double>& x, double value) {
+  Maximizer::update(x, value);
+  gp_dirty_ = true;
+}
+
+RandomSearch::RandomSearch(int dims, std::uint64_t seed)
+    : dims_(dims), rng_(seed) {
+  if (dims <= 0) throw std::invalid_argument("RandomSearch: dims must be > 0");
+}
+
+std::vector<double> RandomSearch::propose() {
+  std::vector<double> x(static_cast<std::size_t>(dims_));
+  for (double& v : x) v = rng_.uniform(0.0, 1.0);
+  return x;
+}
+
+GridSearch::GridSearch(int dims, int points_per_dim)
+    : dims_(dims),
+      points_per_dim_(points_per_dim),
+      incumbent_(static_cast<std::size_t>(dims), 0.5) {
+  if (dims <= 0 || points_per_dim < 2) {
+    throw std::invalid_argument("GridSearch: bad arguments");
+  }
+}
+
+std::vector<double> GridSearch::propose() {
+  std::vector<double> x = incumbent_;
+  const int dim = current_dim_ % dims_;
+  x[static_cast<std::size_t>(dim)] =
+      static_cast<double>(current_step_) / (points_per_dim_ - 1);
+  return x;
+}
+
+void GridSearch::update(const std::vector<double>& x, double value) {
+  Maximizer::update(x, value);
+  const int dim = current_dim_ % dims_;
+  const double coord = x[static_cast<std::size_t>(dim)];
+  if (value > dim_best_value_) {
+    dim_best_value_ = value;
+    dim_best_coord_ = coord;
+  }
+  ++current_step_;
+  if (current_step_ >= points_per_dim_) {
+    // Fix this dimension at its best grid value, move to the next one.
+    incumbent_[static_cast<std::size_t>(dim)] = dim_best_coord_;
+    current_step_ = 0;
+    ++current_dim_;
+    dim_best_value_ = -1e300;
+    dim_best_coord_ = 0.5;
+  }
+}
+
+}  // namespace bo

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <vector>
+
+#include "bo/gp.hpp"
+#include "netgym/rng.hpp"
+
+namespace bo {
+
+/// Common interface of the black-box maximizers compared in Fig. 20. All of
+/// them propose points in the unit cube [0,1]^d; the caller evaluates the
+/// black-box function (gap-to-baseline of an environment configuration) and
+/// reports it back via `update`.
+class Maximizer {
+ public:
+  virtual ~Maximizer() = default;
+
+  /// Next point to evaluate.
+  virtual std::vector<double> propose() = 0;
+
+  /// Report the function value observed at `x` (the point from `propose`).
+  virtual void update(const std::vector<double>& x, double value);
+
+  const std::vector<double>& best_point() const { return best_point_; }
+  double best_value() const { return best_value_; }
+  int num_evaluations() const { return static_cast<int>(values_.size()); }
+
+ protected:
+  std::vector<std::vector<double>> points_;
+  std::vector<double> values_;
+  std::vector<double> best_point_;
+  double best_value_ = -1e300;
+};
+
+/// Bayesian optimization with a GP surrogate and Expected Improvement
+/// acquisition, maximized over a random candidate set (plus local jitter
+/// around the incumbent). This is Genet's sequencing-module search (S4.2);
+/// it is restarted from scratch for every new RL model snapshot.
+class BayesianOptimizer : public Maximizer {
+ public:
+  enum class Acquisition {
+    kExpectedImprovement,  ///< EI (default; what Genet uses)
+    kUpperConfidenceBound  ///< mean + kappa * stddev
+  };
+
+  struct Options {
+    int initial_random = 3;  ///< pure exploration before the GP kicks in
+    int candidates = 512;    ///< acquisition maximization sample size
+    double xi = 0.01;        ///< EI exploration margin
+    Acquisition acquisition = Acquisition::kExpectedImprovement;
+    double ucb_kappa = 2.0;  ///< exploration weight for UCB
+    GaussianProcess::Options gp;
+  };
+
+  BayesianOptimizer(int dims, std::uint64_t seed)
+      : BayesianOptimizer(dims, seed, Options{}) {}
+  BayesianOptimizer(int dims, std::uint64_t seed, Options options);
+
+  std::vector<double> propose() override;
+  void update(const std::vector<double>& x, double value) override;
+
+ private:
+  double acquisition_value(const GaussianProcess::Prediction& p) const;
+
+  int dims_;
+  Options options_;
+  netgym::Rng rng_;
+  GaussianProcess gp_;
+  bool gp_dirty_ = true;
+};
+
+/// Uniform random search (Fig. 20's "Random" comparator).
+class RandomSearch : public Maximizer {
+ public:
+  RandomSearch(int dims, std::uint64_t seed);
+  std::vector<double> propose() override;
+
+ private:
+  int dims_;
+  netgym::Rng rng_;
+};
+
+/// Coordinate grid search (Fig. 20's "Grid" comparator): all coordinates
+/// start at their midpoints; the search sweeps one dimension at a time over
+/// an even grid, fixing each dimension at its best value before moving on.
+class GridSearch : public Maximizer {
+ public:
+  GridSearch(int dims, int points_per_dim = 10);
+  std::vector<double> propose() override;
+  void update(const std::vector<double>& x, double value) override;
+
+ private:
+  int dims_;
+  int points_per_dim_;
+  int current_dim_ = 0;
+  int current_step_ = 0;
+  std::vector<double> incumbent_;
+  double dim_best_value_ = -1e300;
+  double dim_best_coord_ = 0.5;
+};
+
+}  // namespace bo

@@ -1,0 +1,135 @@
+#pragma once
+
+#include "cc/env.hpp"
+#include "netgym/env.hpp"
+
+namespace cc {
+
+/// Base class for rule-based congestion controllers driven through the CC
+/// environment's discrete rate-factor action space. Each controller computes
+/// a *target* sending rate from the latest monitor-interval statistics; the
+/// base class then emits the action whose factor moves the current rate
+/// closest to that target. (This inherits the MI decision granularity of the
+/// simulator — exactly the coarseness S7 of the paper discusses; S4.3 notes
+/// a baseline needn't be perfectly faithful to steer Genet.)
+class RateController : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) final;
+
+ protected:
+  /// Convenience view over the observation's newest MI block.
+  struct MiView {
+    double rate_pkts = 0.0;
+    double min_rtt_s = 0.0;
+    double avg_rtt_s = 0.0;
+    double latency_gradient = 0.0;
+    double loss_rate = 0.0;
+    double delivered_mbps = 0.0;
+    double delivered_pkts_per_s = 0.0;
+    double mi_duration_s = 0.0;
+  };
+  static MiView view(const netgym::Observation& obs);
+
+  /// Return the desired sending rate (packets/s) for the next MI.
+  virtual double target_rate_pkts(const MiView& mi, netgym::Rng& rng) = 0;
+};
+
+/// TCP Cubic [20] adapted to rate-based MI control: a congestion window
+/// grows along the cubic curve W(t) = C (t - K)^3 + W_max, multiplicative
+/// decrease (beta) on loss, slow-start until the first loss. The sending
+/// rate is cwnd / RTT.
+class CubicPolicy : public RateController {
+ public:
+  void begin_episode() override;
+
+ protected:
+  double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
+
+ private:
+  static constexpr double kC = 0.4;
+  static constexpr double kBeta = 0.7;
+  double cwnd_pkts_ = 10.0;
+  double w_max_ = 0.0;
+  double k_s_ = 0.0;
+  double epoch_clock_s_ = 0.0;
+  bool slow_start_ = true;
+  bool initialized_ = false;
+};
+
+/// BBR [8] adapted to MI control: startup doubles the rate until the
+/// delivery rate stops growing, then the controller paces at the estimated
+/// bottleneck bandwidth (max delivery rate over a sliding window) with a
+/// pacing-gain cycle that periodically probes for more bandwidth and then
+/// drains the queue.
+class BbrPolicy : public RateController {
+ public:
+  void begin_episode() override;
+
+ protected:
+  double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
+
+ private:
+  static constexpr int kBtlBwWindow = 10;
+  static constexpr int kCycleLength = 8;
+  enum class Mode { kStartup, kDrain, kProbeBandwidth };
+  Mode mode_ = Mode::kStartup;
+  std::vector<double> delivery_samples_;
+  double full_bw_ = 0.0;
+  int full_bw_stalls_ = 0;
+  int cycle_index_ = 0;
+  double pacing_rate_ = 0.0;
+
+  double btlbw_pkts() const;
+};
+
+/// PCC Vivace [14] (latency flavour), simplified to its core online-learning
+/// loop: estimate the utility gradient by comparing consecutive MIs and move
+/// the rate in the improving direction with a confidence-amplified step.
+/// Utility: throughput^0.9 - 900 * throughput * max(0, dRTT/dt)
+///          - 11.35 * throughput * loss.
+class VivacePolicy : public RateController {
+ public:
+  void begin_episode() override;
+
+ protected:
+  double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
+
+ private:
+  double prev_rate_ = 0.0;
+  double prev_utility_ = 0.0;
+  double direction_ = 1.0;
+  int streak_ = 0;
+  bool has_prev_ = false;
+};
+
+/// Copa (Arun & Balakrishnan, NSDI'18), simplified: target rate is
+/// 1 / (delta * queueing delay); the rate moves toward the target with a
+/// velocity that doubles while the direction is consistent.
+class CopaPolicy : public RateController {
+ public:
+  void begin_episode() override;
+
+ protected:
+  double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
+
+ private:
+  static constexpr double kDelta = 0.5;
+  double velocity_ = 1.0;
+  double last_direction_ = 0.0;
+};
+
+/// Omniscient sender: paces exactly at the link's current capacity (reads
+/// the trace). Upper reference for gap-to-optimum comparisons (CL3 /
+/// Strawman 3).
+class OraclePolicy : public RateController {
+ public:
+  explicit OraclePolicy(const CcEnv& env) : env_(env) {}
+
+ protected:
+  double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
+
+ private:
+  const CcEnv& env_;
+};
+
+}  // namespace cc

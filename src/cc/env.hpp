@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "netgym/config.hpp"
+#include "netgym/env.hpp"
+#include "netgym/trace.hpp"
+
+namespace cc {
+
+/// Reward weights of Table 1: sum_i (a*Throughput_i + b*Latency_i +
+/// c*LossRate_i) / n with throughput in Mbps, latency = average one-way
+/// packet delay in seconds (half the measured RTT), loss as a fraction.
+/// (Table 1 prints "kbps" for the throughput unit; with a = 120 that unit
+/// produces rewards ~1000x larger than every reward axis in the paper's
+/// figures, so we use Mbps + one-way delay, which reproduces those scales.)
+struct CcRewardWeights {
+  double a_throughput = 120.0;
+  double b_latency = -1000.0;
+  double c_loss = -2000.0;
+};
+
+/// Environment parameters of the CC simulator (Table 4 / Appendix A.2).
+struct CcEnvConfig {
+  double max_bw_mbps = 3.16;
+  double min_rtt_ms = 100.0;      ///< two-way propagation delay
+  double bw_change_interval_s = 7.5;
+  double loss_rate = 0.0;         ///< random (non-congestion) packet loss
+  double queue_packets = 10.0;
+  double delay_noise_ms = 0.0;    ///< gaussian noise on measured delay
+  double duration_s = 30.0;
+  CcRewardWeights reward;
+};
+
+/// The 5-dimensional CC configuration space of Table 4 (RL1/RL2/RL3).
+netgym::ConfigSpace cc_config_space(int which);
+
+CcEnvConfig cc_config_from_point(const netgym::Config& point);
+netgym::Config cc_point_from_config(const CcEnvConfig& cfg);
+
+/// Relative rate changes available per monitor interval. Aurora's action is a
+/// continuous rate delta; we discretize it to these multiplicative factors.
+/// (S7 of the paper discusses the coarse decision granularity of MI-based
+/// control; rule-based baselines in this simulator act through the same
+/// factors, see baselines.hpp.)
+inline constexpr int kRateActionCount = 9;
+inline constexpr double kRateFactors[kRateActionCount] = {
+    0.5, 0.75, 0.9, 0.97, 1.0, 1.03, 1.1, 1.25, 1.5};
+
+/// Monitor-interval congestion-control simulator in the style of Aurora's.
+///
+/// One `step` simulates one monitor interval (MI), one RTT long: the sender
+/// transmits at its current rate into a single bottleneck link with a FIFO
+/// queue of `queue_packets`, time-varying bandwidth from the trace, random
+/// loss, and two-way propagation delay `min_rtt_ms`. The queue is integrated
+/// as a fluid in 10 ms slices. The action rescales the sending rate for the
+/// next MI by `kRateFactors[action]`.
+///
+/// Observation layout (kMiHistory MIs, oldest first, 5 features per MI):
+///   [5i+0]  latency ratio - 1        (avg RTT / min RTT - 1)
+///   [5i+1]  latency gradient         (d avg RTT / dt, unitless)
+///   [5i+2]  send ratio - 1           (sent / delivered - 1, capped at 10)
+///   [5i+3]  loss rate                (lost / sent)
+///   [5i+4]  delivered throughput     log10(1 + Mbps)
+/// then:
+///   [5H+0]  current sending rate     log10(1 + packets-per-second / 100)
+///   [5H+1]  minimum RTT (s)
+///   [5H+2]  last MI duration (s)
+class CcEnv : public netgym::Env {
+ public:
+  static constexpr int kMiHistory = 10;
+  static constexpr int kFeaturesPerMi = 5;
+  static constexpr int kObsSize = kMiHistory * kFeaturesPerMi + 3;
+  static constexpr double kPacketBits = 12000.0;  // 1500-byte packets
+
+  // Named offsets of the newest MI block and the trailing scalars.
+  static constexpr int kObsNewestMi = (kMiHistory - 1) * kFeaturesPerMi;
+  static constexpr int kObsRate = kMiHistory * kFeaturesPerMi;
+  static constexpr int kObsMinRtt = kObsRate + 1;
+  static constexpr int kObsMiDuration = kObsRate + 2;
+
+  CcEnv(CcEnvConfig config, netgym::Trace trace, std::uint64_t seed);
+
+  netgym::Observation reset() override;
+  StepResult step(int action) override;
+  int action_count() const override { return kRateActionCount; }
+  std::size_t observation_size() const override { return kObsSize; }
+
+  const CcEnvConfig& config() const { return config_; }
+  const netgym::Trace& trace() const { return trace_; }
+  double clock_s() const { return clock_s_; }
+  double rate_pkts_per_s() const { return rate_pkts_; }
+
+  /// Aggregate per-episode statistics (for Table 7-style breakdowns).
+  struct Totals {
+    double sent_pkts = 0.0;
+    double delivered_pkts = 0.0;
+    double lost_pkts = 0.0;
+    double latency_weighted_s = 0.0;  ///< sum of (avg latency * delivered)
+    std::vector<double> mi_latencies_s;
+    double mean_throughput_mbps(double duration_s) const;
+    double loss_fraction() const;
+    double mean_latency_s() const;
+  };
+  const Totals& totals() const { return totals_; }
+
+ private:
+  struct MiStats {
+    double sent = 0.0;
+    double delivered = 0.0;
+    double lost = 0.0;
+    double avg_latency_s = 0.0;
+    double duration_s = 0.0;
+  };
+  MiStats simulate_interval(double duration_s);
+  void push_mi(const MiStats& stats);
+  netgym::Observation make_observation() const;
+  double current_rtt_s() const;
+
+  CcEnvConfig config_;
+  netgym::Trace trace_;
+  netgym::Rng rng_;
+  double clock_s_ = 0.0;
+  double rate_pkts_ = 0.0;
+  double queue_pkts_ = 0.0;
+  bool done_ = true;
+  std::array<MiStats, kMiHistory> history_{};
+  Totals totals_;
+};
+
+/// Synthesize the bandwidth trace for `config` (Appendix A.2) and build an
+/// environment on it.
+std::unique_ptr<CcEnv> make_cc_env(const CcEnvConfig& config,
+                                   netgym::Rng& rng);
+
+/// Trace-driven variant: recorded bandwidth, other parameters from `config`.
+std::unique_ptr<CcEnv> make_cc_env(const CcEnvConfig& config,
+                                   const netgym::Trace& trace,
+                                   netgym::Rng& rng);
+
+}  // namespace cc

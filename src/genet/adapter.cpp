@@ -1,0 +1,374 @@
+#include "genet/adapter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "abr/baselines.hpp"
+#include "abr/env.hpp"
+#include "abr/optimal.hpp"
+#include "cc/baselines.hpp"
+#include "cc/env.hpp"
+#include "cc/packet_sim.hpp"
+#include "lb/baselines.hpp"
+#include "lb/env.hpp"
+
+namespace genet {
+
+namespace {
+
+/// Pick a trace from the corpus whose bandwidth statistics are compatible
+/// with the selected configuration's bandwidth range (S4.2's trace
+/// categorization); falls back to the closest trace by mean bandwidth.
+const netgym::Trace& matching_trace(const std::vector<netgym::Trace>& corpus,
+                                    double max_bw_mbps, netgym::Rng& rng) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const double mean = corpus[i].mean_bandwidth();
+    if (mean <= max_bw_mbps && mean >= 0.02 * max_bw_mbps) {
+      candidates.push_back(i);
+    }
+  }
+  if (!candidates.empty()) {
+    return corpus[candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(candidates.size()) - 1))]];
+  }
+  std::size_t best = 0;
+  double best_dist = 1e300;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const double d = std::abs(corpus[i].mean_bandwidth() - max_bw_mbps);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return corpus[best];
+}
+
+}  // namespace
+
+std::unique_ptr<netgym::Env> TaskAdapter::make_env_from_trace(
+    const netgym::Trace&, netgym::Rng&) const {
+  throw std::logic_error(name() + ": task has no trace-driven environments");
+}
+
+double TaskAdapter::config_non_smoothness(const netgym::Config&,
+                                          netgym::Rng&) const {
+  return 0.0;
+}
+
+rl::EnvFactory TaskAdapter::factory_for(
+    const netgym::ConfigDistribution& dist) const {
+  return [this, &dist](netgym::Rng& rng) {
+    return make_env(dist.sample(rng), rng);
+  };
+}
+
+rl::EnvFactory TaskAdapter::factory_for(const netgym::Config& config) const {
+  return [this, config](netgym::Rng& rng) { return make_env(config, rng); };
+}
+
+double test_on_config(const TaskAdapter& task, netgym::Policy& policy,
+                      const netgym::Config& config, int n, netgym::Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("test_on_config: n must be > 0");
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto env = task.make_env(config, rng);
+    total += netgym::run_episode(*env, policy, rng).mean_reward;
+  }
+  return total / n;
+}
+
+double test_on_distribution(const TaskAdapter& task, netgym::Policy& policy,
+                            const netgym::ConfigDistribution& dist, int n,
+                            netgym::Rng& rng) {
+  if (n <= 0) {
+    throw std::invalid_argument("test_on_distribution: n must be > 0");
+  }
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto env = task.make_env(dist.sample(rng), rng);
+    total += netgym::run_episode(*env, policy, rng).mean_reward;
+  }
+  return total / n;
+}
+
+std::vector<double> test_per_trace(const TaskAdapter& task,
+                                   netgym::Policy& policy,
+                                   const std::vector<netgym::Trace>& corpus,
+                                   netgym::Rng& rng) {
+  std::vector<double> rewards;
+  rewards.reserve(corpus.size());
+  for (const netgym::Trace& trace : corpus) {
+    auto env = task.make_env_from_trace(trace, rng);
+    rewards.push_back(netgym::run_episode(*env, policy, rng).mean_reward);
+  }
+  return rewards;
+}
+
+double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
+                       const std::string& baseline_name,
+                       const netgym::Config& config, int n,
+                       netgym::Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("gap_to_baseline: n must be > 0");
+  double gap = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // Both policies see the same environment instance (fresh copy each).
+    netgym::Rng env_rng = rng.fork();
+    netgym::Rng env_rng2 = env_rng;
+    auto env_rl = task.make_env(config, env_rng);
+    auto env_rule = task.make_env(config, env_rng2);
+    auto baseline = task.make_baseline(baseline_name, *env_rule);
+    const double r_rl =
+        netgym::run_episode(*env_rl, rl_policy, rng).mean_reward;
+    const double r_rule =
+        netgym::run_episode(*env_rule, *baseline, rng).mean_reward;
+    gap += r_rule - r_rl;
+  }
+  return gap / n;
+}
+
+double gap_to_optimum(const TaskAdapter& task, netgym::Policy& rl_policy,
+                      const netgym::Config& config, int n, netgym::Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("gap_to_optimum: n must be > 0");
+  double gap = 0.0;
+  for (int i = 0; i < n; ++i) {
+    netgym::Rng env_rng = rng.fork();
+    netgym::Rng env_rng2 = env_rng;
+    auto env_rl = task.make_env(config, env_rng);
+    auto env_opt = task.make_env(config, env_rng2);
+    const double r_rl =
+        netgym::run_episode(*env_rl, rl_policy, rng).mean_reward;
+    const double r_opt = task.optimal_mean_reward(*env_opt, rng);
+    gap += r_opt - r_rl;
+  }
+  return gap / n;
+}
+
+double gap_between(const TaskAdapter& task, netgym::Policy& policy,
+                   netgym::Policy& reference, const netgym::Config& config,
+                   int n, netgym::Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("gap_between: n must be > 0");
+  double gap = 0.0;
+  for (int i = 0; i < n; ++i) {
+    netgym::Rng env_rng = rng.fork();
+    netgym::Rng env_rng2 = env_rng;
+    auto env_policy = task.make_env(config, env_rng);
+    auto env_reference = task.make_env(config, env_rng2);
+    gap += netgym::run_episode(*env_reference, reference, rng).mean_reward -
+           netgym::run_episode(*env_policy, policy, rng).mean_reward;
+  }
+  return gap / n;
+}
+
+// ---------------------------------------------------------------------------
+// ABR
+// ---------------------------------------------------------------------------
+
+AbrAdapter::AbrAdapter(int space_id, TraceMixOptions traces)
+    : space_(abr::abr_config_space(space_id)), traces_(std::move(traces)) {}
+
+int AbrAdapter::obs_size() const { return abr::AbrEnv::kObsSize; }
+int AbrAdapter::action_count() const { return abr::kBitrateCount; }
+
+std::unique_ptr<netgym::Env> AbrAdapter::make_env(
+    const netgym::Config& config, netgym::Rng& rng) const {
+  const abr::AbrEnvConfig cfg = abr::abr_config_from_point(config);
+  if (!traces_.corpus.empty() && rng.bernoulli(traces_.trace_prob)) {
+    const netgym::Trace& trace =
+        matching_trace(traces_.corpus, cfg.max_bw_mbps, rng);
+    return abr::make_abr_env(cfg, trace, rng);
+  }
+  return abr::make_abr_env(cfg, rng);
+}
+
+std::unique_ptr<netgym::Env> AbrAdapter::make_env_from_trace(
+    const netgym::Trace& trace, netgym::Rng& rng) const {
+  return abr::make_abr_env(abr::AbrEnvConfig{}, trace, rng);
+}
+
+std::vector<std::string> AbrAdapter::baseline_names() const {
+  return {"mpc", "bba", "oboe", "naive"};
+}
+
+std::unique_ptr<netgym::Policy> AbrAdapter::make_baseline(
+    const std::string& name, const netgym::Env&) const {
+  if (name == "mpc") return std::make_unique<abr::RobustMpcPolicy>();
+  if (name == "bba") return std::make_unique<abr::BbaPolicy>();
+  if (name == "oboe") return std::make_unique<abr::OboePolicy>();
+  if (name == "naive") return std::make_unique<abr::NaiveAbrPolicy>();
+  throw std::invalid_argument("AbrAdapter: unknown baseline '" + name + "'");
+}
+
+double AbrAdapter::optimal_mean_reward(netgym::Env& env, netgym::Rng&) const {
+  auto* abr_env = dynamic_cast<abr::AbrEnv*>(&env);
+  if (abr_env == nullptr) {
+    throw std::invalid_argument("AbrAdapter: env is not an AbrEnv");
+  }
+  return abr::offline_optimal(*abr_env, /*beam_width=*/32).mean_reward;
+}
+
+double AbrAdapter::config_non_smoothness(const netgym::Config& config,
+                                         netgym::Rng& rng) const {
+  const abr::AbrEnvConfig cfg = abr::abr_config_from_point(config);
+  double total = 0.0;
+  constexpr int kSamples = 3;
+  for (int i = 0; i < kSamples; ++i) {
+    auto env = abr::make_abr_env(cfg, rng);
+    total += env->trace().non_smoothness();
+  }
+  return total / kSamples;
+}
+
+std::unique_ptr<rl::ActorCriticBase> AbrAdapter::make_trainer(
+    std::uint64_t seed) const {
+  rl::TrainerOptions options;  // Pensieve trains with A3C; A2C here.
+  return std::make_unique<rl::A2CTrainer>(obs_size(), action_count(), options,
+                                          seed);
+}
+
+// ---------------------------------------------------------------------------
+// CC
+// ---------------------------------------------------------------------------
+
+CcAdapter::CcAdapter(int space_id, TraceMixOptions traces,
+                     bool use_packet_sim)
+    : space_(cc::cc_config_space(space_id)),
+      traces_(std::move(traces)),
+      use_packet_sim_(use_packet_sim) {}
+
+int CcAdapter::obs_size() const { return cc::CcEnv::kObsSize; }
+int CcAdapter::action_count() const { return cc::kRateActionCount; }
+
+std::unique_ptr<netgym::Env> CcAdapter::make_env(const netgym::Config& config,
+                                                 netgym::Rng& rng) const {
+  const cc::CcEnvConfig cfg = cc::cc_config_from_point(config);
+  if (!traces_.corpus.empty() && rng.bernoulli(traces_.trace_prob)) {
+    const netgym::Trace& trace =
+        matching_trace(traces_.corpus, cfg.max_bw_mbps, rng);
+    if (use_packet_sim_) return cc::make_packet_cc_env(cfg, trace, rng);
+    return cc::make_cc_env(cfg, trace, rng);
+  }
+  if (use_packet_sim_) return cc::make_packet_cc_env(cfg, rng);
+  return cc::make_cc_env(cfg, rng);
+}
+
+std::unique_ptr<netgym::Env> CcAdapter::make_env_from_trace(
+    const netgym::Trace& trace, netgym::Rng& rng) const {
+  if (use_packet_sim_) {
+    return cc::make_packet_cc_env(cc::CcEnvConfig{}, trace, rng);
+  }
+  return cc::make_cc_env(cc::CcEnvConfig{}, trace, rng);
+}
+
+std::vector<std::string> CcAdapter::baseline_names() const {
+  return {"bbr", "cubic", "vivace", "copa"};
+}
+
+std::unique_ptr<netgym::Policy> CcAdapter::make_baseline(
+    const std::string& name, const netgym::Env& env) const {
+  if (name == "bbr") return std::make_unique<cc::BbrPolicy>();
+  if (name == "cubic") return std::make_unique<cc::CubicPolicy>();
+  if (name == "vivace") return std::make_unique<cc::VivacePolicy>();
+  if (name == "copa") return std::make_unique<cc::CopaPolicy>();
+  if (name == "oracle") {
+    const auto* cc_env = dynamic_cast<const cc::CcEnv*>(&env);
+    if (cc_env == nullptr) {
+      throw std::invalid_argument("CcAdapter: env is not a CcEnv");
+    }
+    return std::make_unique<cc::OraclePolicy>(*cc_env);
+  }
+  throw std::invalid_argument("CcAdapter: unknown baseline '" + name + "'");
+}
+
+double CcAdapter::optimal_mean_reward(netgym::Env& env,
+                                      netgym::Rng& rng) const {
+  // The oracle reads the trace through a fluid CcEnv; gap-to-optimum is
+  // only supported on the fluid backend.
+  auto* cc_env = dynamic_cast<cc::CcEnv*>(&env);
+  if (cc_env == nullptr) {
+    throw std::invalid_argument(
+        "CcAdapter: gap-to-optimum needs the fluid CcEnv backend");
+  }
+  cc::OraclePolicy oracle(*cc_env);
+  return netgym::run_episode(*cc_env, oracle, rng).mean_reward;
+}
+
+double CcAdapter::config_non_smoothness(const netgym::Config& config,
+                                        netgym::Rng& rng) const {
+  const cc::CcEnvConfig cfg = cc::cc_config_from_point(config);
+  double total = 0.0;
+  constexpr int kSamples = 3;
+  for (int i = 0; i < kSamples; ++i) {
+    auto env = cc::make_cc_env(cfg, rng);
+    total += env->trace().non_smoothness();
+  }
+  return total / kSamples;
+}
+
+std::unique_ptr<rl::ActorCriticBase> CcAdapter::make_trainer(
+    std::uint64_t seed) const {
+  rl::TrainerOptions options;  // Aurora trains with PPO.
+  options.max_steps_per_episode = 300;
+  return std::make_unique<rl::PPOTrainer>(obs_size(), action_count(), options,
+                                          seed);
+}
+
+// ---------------------------------------------------------------------------
+// LB
+// ---------------------------------------------------------------------------
+
+LbAdapter::LbAdapter(int space_id) : space_(lb::lb_config_space(space_id)) {}
+
+int LbAdapter::obs_size() const { return lb::LbEnv::kObsSize; }
+int LbAdapter::action_count() const { return lb::kNumServers; }
+
+std::unique_ptr<netgym::Env> LbAdapter::make_env(const netgym::Config& config,
+                                                 netgym::Rng& rng) const {
+  return lb::make_lb_env(lb::lb_config_from_point(config), rng);
+}
+
+std::vector<std::string> LbAdapter::baseline_names() const {
+  return {"llf", "shortest", "least_requests", "po2", "random", "naive"};
+}
+
+std::unique_ptr<netgym::Policy> LbAdapter::make_baseline(
+    const std::string& name, const netgym::Env& env) const {
+  if (name == "llf") return std::make_unique<lb::LlfPolicy>();
+  if (name == "shortest") {
+    return std::make_unique<lb::ShortestCompletionPolicy>();
+  }
+  if (name == "least_requests") {
+    return std::make_unique<lb::LeastRequestsPolicy>();
+  }
+  if (name == "random") return std::make_unique<lb::RandomLbPolicy>();
+  if (name == "po2") return std::make_unique<lb::PowerOfTwoPolicy>();
+  if (name == "naive") return std::make_unique<lb::NaiveLbPolicy>();
+  if (name == "oracle") {
+    const auto* lb_env = dynamic_cast<const lb::LbEnv*>(&env);
+    if (lb_env == nullptr) {
+      throw std::invalid_argument("LbAdapter: env is not an LbEnv");
+    }
+    return std::make_unique<lb::OracleLbPolicy>(*lb_env);
+  }
+  throw std::invalid_argument("LbAdapter: unknown baseline '" + name + "'");
+}
+
+double LbAdapter::optimal_mean_reward(netgym::Env& env,
+                                      netgym::Rng& rng) const {
+  auto* lb_env = dynamic_cast<lb::LbEnv*>(&env);
+  if (lb_env == nullptr) {
+    throw std::invalid_argument("LbAdapter: env is not an LbEnv");
+  }
+  lb::OracleLbPolicy oracle(*lb_env);
+  return netgym::run_episode(*lb_env, oracle, rng).mean_reward;
+}
+
+std::unique_ptr<rl::ActorCriticBase> LbAdapter::make_trainer(
+    std::uint64_t seed) const {
+  rl::TrainerOptions options;  // Park's LB example trains with A3C-style PG.
+  return std::make_unique<rl::A2CTrainer>(obs_size(), action_count(), options,
+                                          seed);
+}
+
+}  // namespace genet

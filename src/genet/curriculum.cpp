@@ -1,0 +1,241 @@
+#include "genet/curriculum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace genet {
+
+namespace {
+
+/// Run a BO search over the task's configuration space maximizing
+/// `criterion`; returns the best configuration found and its criterion
+/// value. This is the shared engine of every BO-driven scheme; Genet
+/// restarts it per round (S4.2).
+template <typename Criterion>
+CurriculumScheme::Selection bo_search(const TaskAdapter& task,
+                                      const SearchOptions& options,
+                                      netgym::Rng& rng,
+                                      Criterion&& criterion) {
+  const netgym::ConfigSpace& space = task.space();
+  bo::BayesianOptimizer optimizer(static_cast<int>(space.dims()),
+                                  rng.engine()());
+  for (int trial = 0; trial < options.bo_trials; ++trial) {
+    const std::vector<double> unit = optimizer.propose();
+    const netgym::Config config = space.denormalize(unit);
+    optimizer.update(unit, criterion(config));
+  }
+  return {space.denormalize(optimizer.best_point()), optimizer.best_value()};
+}
+
+}  // namespace
+
+GenetScheme::GenetScheme(std::string baseline_name, SearchOptions options)
+    : baseline_name_(std::move(baseline_name)), options_(options) {}
+
+CurriculumScheme::Selection GenetScheme::select(
+    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    netgym::Rng& rng) {
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    return gap_to_baseline(task, current_policy, baseline_name_, config,
+                           options_.envs_per_eval, rng);
+  });
+}
+
+SelfPlayScheme::SelfPlayScheme(SearchOptions options) : options_(options) {}
+
+CurriculumScheme::Selection SelfPlayScheme::select(
+    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    netgym::Rng& rng) {
+  auto* mlp = dynamic_cast<rl::MlpPolicy*>(&current_policy);
+  if (mlp == nullptr) {
+    throw std::invalid_argument(
+        "SelfPlayScheme: requires an rl::MlpPolicy current policy");
+  }
+  // Keep the best snapshot seen so far as the frozen reference.
+  netgym::ConfigDistribution probe_dist(task.space());
+  netgym::Rng probe_rng(rng.engine()());
+  const double current_score =
+      test_on_distribution(task, current_policy, probe_dist, 20, probe_rng);
+  if (reference_params_.empty() || current_score >= reference_score_) {
+    reference_params_ = mlp->snapshot();
+    reference_score_ = current_score;
+  }
+  rl::TrainerOptions defaults;
+  netgym::Rng init_rng(0);
+  rl::MlpPolicy reference(task.obs_size(), task.action_count(),
+                          defaults.hidden, init_rng);
+  reference.restore(reference_params_);
+  reference.set_greedy(true);
+
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    return gap_between(task, current_policy, reference, config,
+                       options_.envs_per_eval, rng);
+  });
+}
+
+EnsembleGenetScheme::EnsembleGenetScheme(
+    std::vector<std::string> baseline_names, SearchOptions options)
+    : baseline_names_(std::move(baseline_names)), options_(options) {
+  if (baseline_names_.empty()) {
+    throw std::invalid_argument(
+        "EnsembleGenetScheme: need at least one baseline");
+  }
+}
+
+CurriculumScheme::Selection EnsembleGenetScheme::select(
+    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    netgym::Rng& rng) {
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    double max_gap = -1e300;
+    for (const std::string& baseline : baseline_names_) {
+      max_gap = std::max(
+          max_gap, gap_to_baseline(task, current_policy, baseline, config,
+                                   options_.envs_per_eval, rng));
+    }
+    return max_gap;
+  });
+}
+
+HandcraftedScheme::HandcraftedScheme(std::string dimension, bool hard_is_low,
+                                     int total_rounds)
+    : dimension_(std::move(dimension)),
+      hard_is_low_(hard_is_low),
+      total_rounds_(std::max(total_rounds, 1)) {}
+
+CurriculumScheme::Selection HandcraftedScheme::select(const TaskAdapter& task,
+                                                      netgym::Policy&,
+                                                      int round,
+                                                      netgym::Rng&) {
+  const netgym::ConfigSpace& space = task.space();
+  netgym::Config config = space.midpoint();
+  const std::size_t dim = space.index_of(dimension_);
+  const netgym::ParamSpec& spec = space.param(dim);
+  // Progress 0 -> 1 over the rounds, from the easy end to the hard end.
+  const double progress =
+      std::min(static_cast<double>(round) / (total_rounds_ - 1 + 1e-9), 1.0);
+  config.values[dim] = hard_is_low_
+                           ? spec.hi + progress * (spec.lo - spec.hi)
+                           : spec.lo + progress * (spec.hi - spec.lo);
+  return {space.clamp(config), progress};
+}
+
+BaselinePerformanceScheme::BaselinePerformanceScheme(std::string baseline_name,
+                                                     SearchOptions options)
+    : baseline_name_(std::move(baseline_name)), options_(options) {}
+
+CurriculumScheme::Selection BaselinePerformanceScheme::select(
+    const TaskAdapter& task, netgym::Policy&, int, netgym::Rng& rng) {
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    // Maximize the *negated* baseline reward: environments where the rule
+    // fares worst are considered hardest.
+    double total = 0.0;
+    for (int i = 0; i < options_.envs_per_eval; ++i) {
+      auto env = task.make_env(config, rng);
+      auto baseline = task.make_baseline(baseline_name_, *env);
+      total += netgym::run_episode(*env, *baseline, rng).mean_reward;
+    }
+    return -total / options_.envs_per_eval;
+  });
+}
+
+GapToOptimumScheme::GapToOptimumScheme(SearchOptions options)
+    : options_(options) {}
+
+CurriculumScheme::Selection GapToOptimumScheme::select(
+    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    netgym::Rng& rng) {
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    return gap_to_optimum(task, current_policy, config,
+                          options_.envs_per_eval, rng);
+  });
+}
+
+RobustifyScheme::RobustifyScheme(double rho, SearchOptions options)
+    : rho_(rho), options_(options) {}
+
+CurriculumScheme::Selection RobustifyScheme::select(
+    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    netgym::Rng& rng) {
+  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
+    const double regret = gap_to_optimum(task, current_policy, config,
+                                         options_.envs_per_eval, rng);
+    return regret - rho_ * task.config_non_smoothness(config, rng);
+  });
+}
+
+CurriculumTrainer::CurriculumTrainer(const TaskAdapter& task,
+                                     std::unique_ptr<CurriculumScheme> scheme,
+                                     CurriculumOptions options)
+    : task_(task),
+      scheme_(std::move(scheme)),
+      options_(options),
+      trainer_(task.make_trainer(options.seed)),
+      dist_(task.space()),
+      rng_(options.seed ^ 0xc2b2ae3d27d4eb4fULL) {
+  if (scheme_ == nullptr) {
+    throw std::invalid_argument("CurriculumTrainer: scheme must not be null");
+  }
+  if (options_.rounds < 1 || options_.iters_per_round < 1) {
+    throw std::invalid_argument("CurriculumTrainer: bad round counts");
+  }
+}
+
+CurriculumRound CurriculumTrainer::run_round() {
+  CurriculumRound record;
+  record.round = round_;
+
+  // Step 1 (Algorithm 2 line 14): train on the current distribution.
+  const rl::EnvFactory factory = task_.factory_for(dist_);
+  double reward_acc = 0.0;
+  for (int i = 0; i < options_.iters_per_round; ++i) {
+    reward_acc += trainer_->train_iteration(factory).mean_step_reward;
+  }
+  record.train_reward = reward_acc / options_.iters_per_round;
+
+  // Step 2 (lines 5-11): search for the next configuration with the greedy
+  // snapshot of the current policy.
+  rl::MlpPolicy& policy = trainer_->policy();
+  const bool was_greedy = policy.greedy();
+  policy.set_greedy(true);
+  const CurriculumScheme::Selection selection =
+      scheme_->select(task_, policy, round_, rng_);
+  policy.set_greedy(was_greedy);
+  record.promoted = selection.config;
+  record.selection_score = selection.score;
+
+  // Step 3 (line 13): promote the chosen configuration.
+  dist_.promote(record.promoted, options_.promote_weight);
+  ++round_;
+  return record;
+}
+
+std::vector<CurriculumRound> CurriculumTrainer::run() {
+  std::vector<CurriculumRound> records;
+  records.reserve(static_cast<std::size_t>(options_.rounds));
+  for (int r = 0; r < options_.rounds; ++r) {
+    records.push_back(run_round());
+  }
+  return records;
+}
+
+std::unique_ptr<rl::ActorCriticBase> train_traditional(
+    const TaskAdapter& task, int iterations, std::uint64_t seed) {
+  netgym::ConfigDistribution dist(task.space());
+  return train_traditional(task, dist, iterations, seed);
+}
+
+std::unique_ptr<rl::ActorCriticBase> train_traditional(
+    const TaskAdapter& task, const netgym::ConfigDistribution& dist,
+    int iterations, std::uint64_t seed) {
+  if (iterations < 1) {
+    throw std::invalid_argument("train_traditional: iterations must be >= 1");
+  }
+  std::unique_ptr<rl::ActorCriticBase> trainer = task.make_trainer(seed);
+  const rl::EnvFactory factory = task.factory_for(dist);
+  for (int i = 0; i < iterations; ++i) {
+    trainer->train_iteration(factory);
+  }
+  return trainer;
+}
+
+}  // namespace genet

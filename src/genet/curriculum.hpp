@@ -1,0 +1,229 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bo/search.hpp"
+#include "genet/adapter.hpp"
+#include "netgym/config.hpp"
+#include "rl/trainer.hpp"
+
+namespace genet {
+
+/// A curriculum scheme decides which environment configuration to promote
+/// into the training distribution next. Genet's scheme and the paper's
+/// alternative curricula (CL1/CL2/CL3, S5.5) and the Robustify-style BO
+/// criterion (Fig. 19) all implement this interface, so the curriculum
+/// trainer below can run any of them.
+class CurriculumScheme {
+ public:
+  virtual ~CurriculumScheme() = default;
+  virtual std::string name() const = 0;
+
+  /// Result of a curriculum-selection step: the configuration to promote and
+  /// the value of the scheme's criterion there (gap-to-baseline for Genet).
+  struct Selection {
+    netgym::Config config;
+    double score = 0.0;
+  };
+
+  /// Choose the next configuration given the current RL policy. `round` is
+  /// the 0-based curriculum round (used by schedule-based schemes).
+  virtual Selection select(const TaskAdapter& task,
+                           netgym::Policy& current_policy, int round,
+                           netgym::Rng& rng) = 0;
+};
+
+/// Knobs of the BO-driven schemes.
+struct SearchOptions {
+  int bo_trials = 15;    ///< Algorithm 2's NBoTrials
+  int envs_per_eval = 10;  ///< Algorithm 2's NTests (k envs per gap estimate)
+};
+
+/// Genet's sequencing module (S4.2): restart a Bayesian-optimization search
+/// over the configuration space and return the configuration with the
+/// largest estimated gap-to-baseline for the current model.
+class GenetScheme : public CurriculumScheme {
+ public:
+  GenetScheme(std::string baseline_name, SearchOptions options = {});
+
+  std::string name() const override { return "genet"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+  const std::string& baseline_name() const { return baseline_name_; }
+
+ private:
+  std::string baseline_name_;
+  SearchOptions options_;
+};
+
+/// The "ensemble of rule-based heuristics" refinement the paper proposes in
+/// footnote 6 and S7: an environment's score is the MAXIMUM gap to any of a
+/// set of baselines, so environments where the policy trails *any* known
+/// rule get promoted. Mitigates the blind spot of a single weak baseline
+/// (e.g. Cubic under random loss).
+class EnsembleGenetScheme : public CurriculumScheme {
+ public:
+  EnsembleGenetScheme(std::vector<std::string> baseline_names,
+                      SearchOptions options = {});
+
+  std::string name() const override { return "genet_ensemble"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+ private:
+  std::vector<std::string> baseline_names_;
+  SearchOptions options_;
+};
+
+/// S7's third fallback when no rule-based baseline exists: treat a frozen
+/// snapshot of the RL policy itself as the baseline (in the spirit of the
+/// two-competing-models scheme of [12]). The scheme keeps the
+/// best-performing snapshot seen so far as the reference and promotes
+/// configurations where the current policy falls furthest behind it --
+/// i.e. where training has regressed or never caught up.
+class SelfPlayScheme : public CurriculumScheme {
+ public:
+  explicit SelfPlayScheme(SearchOptions options = {});
+
+  std::string name() const override { return "selfplay"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+  /// Probe reward of the stored reference snapshot (for tests/diagnostics).
+  double reference_score() const { return reference_score_; }
+
+ private:
+  SearchOptions options_;
+  std::vector<double> reference_params_;
+  double reference_score_ = -1e300;
+};
+
+/// CL1 (S5.5): handcrafted difficulty schedule. One designated dimension of
+/// the configuration space moves from its easy end to its hard end over the
+/// curriculum rounds (e.g. bandwidth-change interval from long to short);
+/// all other dimensions stay at their midpoints.
+class HandcraftedScheme : public CurriculumScheme {
+ public:
+  /// `hard_is_low`: the hard end of `dimension` is its lower bound.
+  HandcraftedScheme(std::string dimension, bool hard_is_low, int total_rounds);
+
+  std::string name() const override { return "cl1_handcrafted"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+ private:
+  std::string dimension_;
+  bool hard_is_low_;
+  int total_rounds_;
+};
+
+/// CL2 (S5.5): promote environments where the rule-based baseline itself
+/// performs badly (BO minimizes the baseline's reward). Knows nothing about
+/// the current RL model.
+class BaselinePerformanceScheme : public CurriculumScheme {
+ public:
+  BaselinePerformanceScheme(std::string baseline_name,
+                            SearchOptions options = {});
+
+  std::string name() const override { return "cl2_baseline_perf"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+ private:
+  std::string baseline_name_;
+  SearchOptions options_;
+};
+
+/// CL3 / Strawman 3 (S3, S5.5): promote environments with the largest gap
+/// between the current RL model and the ground-truth optimum.
+class GapToOptimumScheme : public CurriculumScheme {
+ public:
+  explicit GapToOptimumScheme(SearchOptions options = {});
+
+  std::string name() const override { return "cl3_gap_to_optimum"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+ private:
+  SearchOptions options_;
+};
+
+/// Robustify-style criterion (Fig. 19): BO maximizes
+/// (optimal - RL reward) - rho * bandwidth non-smoothness, i.e. adversarial
+/// regret penalized by trace roughness, following [19] as described in A.6.
+class RobustifyScheme : public CurriculumScheme {
+ public:
+  explicit RobustifyScheme(double rho, SearchOptions options = {});
+
+  std::string name() const override { return "robustify_bo"; }
+  Selection select(const TaskAdapter& task, netgym::Policy& current_policy,
+                   int round, netgym::Rng& rng) override;
+
+ private:
+  double rho_;
+  SearchOptions options_;
+};
+
+/// Options of the curriculum training loop (Algorithm 2).
+struct CurriculumOptions {
+  int rounds = 9;              ///< paper: distribution changes 9 times
+  int iters_per_round = 10;    ///< Train() iterations between selections
+  double promote_weight = 0.3; ///< w: weight of each newly added config
+  std::uint64_t seed = 1;
+};
+
+/// Reward trajectory entry: test reward of the greedy policy measured after
+/// each training iteration block (for Fig. 18-style training curves).
+struct CurriculumRound {
+  int round = 0;
+  netgym::Config promoted;
+  double selection_score = 0.0;  ///< gap/criterion value of the chosen config
+  double train_reward = 0.0;     ///< mean episode reward during training
+};
+
+/// Algorithm 2: alternate RL training on the current distribution with
+/// curriculum selection and promotion. Works for any CurriculumScheme; with
+/// GenetScheme this is Genet end-to-end.
+class CurriculumTrainer {
+ public:
+  CurriculumTrainer(const TaskAdapter& task,
+                    std::unique_ptr<CurriculumScheme> scheme,
+                    CurriculumOptions options = {});
+
+  /// Run the full curriculum; returns per-round records.
+  std::vector<CurriculumRound> run();
+
+  /// Run one round (train + select + promote); exposed for step-by-step
+  /// experiment harnesses.
+  CurriculumRound run_round();
+
+  rl::ActorCriticBase& trainer() { return *trainer_; }
+  rl::MlpPolicy& policy() { return trainer_->policy(); }
+  const netgym::ConfigDistribution& distribution() const { return dist_; }
+  int rounds_completed() const { return round_; }
+
+ private:
+  const TaskAdapter& task_;
+  std::unique_ptr<CurriculumScheme> scheme_;
+  CurriculumOptions options_;
+  std::unique_ptr<rl::ActorCriticBase> trainer_;
+  netgym::ConfigDistribution dist_;
+  netgym::Rng rng_;
+  int round_ = 0;
+};
+
+/// Traditional RL training (Algorithm 1): uniform sampling from a fixed
+/// configuration space for `iterations`. Returns the trainer for testing.
+std::unique_ptr<rl::ActorCriticBase> train_traditional(
+    const TaskAdapter& task, int iterations, std::uint64_t seed);
+
+/// Traditional RL training over an explicit distribution (e.g. trace+synth
+/// mixes for Fig. 12).
+std::unique_ptr<rl::ActorCriticBase> train_traditional(
+    const TaskAdapter& task, const netgym::ConfigDistribution& dist,
+    int iterations, std::uint64_t seed);
+
+}  // namespace genet

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "netgym/trace.hpp"
+#include "rl/policy.hpp"
+#include "rl/trainer.hpp"
+
+namespace genet {
+
+/// Reimplementation of "Robustifying network protocols with adversarial
+/// examples" [19] as the paper describes it in Appendix A.6: a second RL
+/// model (the adversary) generates bandwidth traces chunk by chunk while
+/// observing the ABR agent's state, maximizing the gap between the offline
+/// optimal and the agent's reward, penalized by trace non-smoothness. The
+/// adversarial traces are then mixed into the agent's training.
+struct RobustifyOptions {
+  double rho = 1.0;           ///< non-smoothness penalty weight (A.6)
+  int bw_levels = 12;         ///< discrete bandwidth actions (log-spaced)
+  double min_bw_mbps = 0.2;
+  double max_bw_mbps = 20.0;
+  int adversary_iters = 150;  ///< trainer iterations for the generator
+  double video_length_s = 120.0;
+  double chunk_length_s = 4.0;
+};
+
+/// The adversarial bandwidth generator. Each episode co-simulates one video
+/// session: per chunk, the adversary picks the link bandwidth the ABR agent
+/// will see, the (frozen) agent picks a bitrate, and at the end of the
+/// session the adversary receives
+///     (optimal - agent reward) / chunks - rho * mean |delta bandwidth|.
+class AbrAdversary {
+ public:
+  /// `victim` is the frozen ABR policy being attacked (greedy decisions).
+  AbrAdversary(rl::MlpPolicy& victim, RobustifyOptions options,
+               std::uint64_t seed);
+
+  /// Train the generator against the frozen victim.
+  void train();
+
+  /// Sample one adversarial bandwidth trace from the trained generator (it
+  /// replays a victim session internally to condition on agent state).
+  netgym::Trace generate(netgym::Rng& rng);
+
+  /// Mean terminal objective (regret minus smoothness penalty) over the
+  /// last training iteration; exposed for tests and diagnostics.
+  double last_objective() const { return last_objective_; }
+
+  const RobustifyOptions& options() const { return options_; }
+
+ private:
+  rl::MlpPolicy& victim_;
+  RobustifyOptions options_;
+  std::unique_ptr<rl::A2CTrainer> trainer_;
+  double last_objective_ = 0.0;
+};
+
+/// The full Robustify training pipeline (Fig. 19's "Robustify" bar):
+/// pretrain the agent traditionally, then alternate adversary training and
+/// agent retraining with adversarial traces mixed into the distribution.
+/// Returns the retrained agent's trainer.
+std::unique_ptr<rl::ActorCriticBase> robustify_train(
+    int space_id, int pretrain_iters, int retrain_iters, int alternations,
+    RobustifyOptions options, std::uint64_t seed);
+
+}  // namespace genet

@@ -1,0 +1,76 @@
+#include "genet/zoo.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace genet {
+
+namespace {
+
+std::string default_directory() {
+  if (const char* dir = std::getenv("GENET_MODEL_DIR")) return dir;
+  return "genet_models";
+}
+
+std::string sanitize(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo() : directory_(default_directory()) {}
+
+ModelZoo::ModelZoo(std::string directory) : directory_(std::move(directory)) {}
+
+std::string ModelZoo::path_for(const std::string& key) const {
+  return directory_ + "/" + sanitize(key) + ".model";
+}
+
+bool ModelZoo::contains(const std::string& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+void ModelZoo::put(const std::string& key, const std::vector<double>& params) {
+  std::filesystem::create_directories(directory_);
+  const std::string path = path_for(key);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ModelZoo: cannot write " + path);
+  out.precision(17);
+  out << params.size() << "\n";
+  for (double p : params) out << p << "\n";
+}
+
+std::vector<double> ModelZoo::get(const std::string& key) const {
+  const std::string path = path_for(key);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ModelZoo: cannot read " + path);
+  std::size_t n = 0;
+  in >> n;
+  std::vector<double> params(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(in >> params[i])) {
+      throw std::runtime_error("ModelZoo: truncated model file " + path);
+    }
+  }
+  return params;
+}
+
+std::vector<double> ModelZoo::get_or_train(
+    const std::string& key,
+    const std::function<std::vector<double>()>& train) {
+  if (contains(key)) return get(key);
+  std::vector<double> params = train();
+  put(key, params);
+  return params;
+}
+
+}  // namespace genet

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace genet {
+
+/// Tiny on-disk cache of trained policy parameters, shared by the benchmark
+/// harnesses so that, e.g., the Genet-trained ABR policy used by Fig. 9 is
+/// trained once and reused by Figs. 10, 13, 15 and 17. Keys are canonical
+/// strings (task + method + seed + budget); values are flat parameter
+/// vectors. The directory defaults to ./genet_models and can be overridden
+/// with the GENET_MODEL_DIR environment variable. Training is deterministic
+/// from the seed, so a cold cache reproduces identical parameters.
+class ModelZoo {
+ public:
+  ModelZoo();
+  explicit ModelZoo(std::string directory);
+
+  /// Load the cached parameters for `key`, or invoke `train`, cache its
+  /// result, and return it.
+  std::vector<double> get_or_train(
+      const std::string& key,
+      const std::function<std::vector<double>()>& train);
+
+  bool contains(const std::string& key) const;
+  void put(const std::string& key, const std::vector<double>& params);
+  std::vector<double> get(const std::string& key) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string path_for(const std::string& key) const;
+  std::string directory_;
+};
+
+}  // namespace genet

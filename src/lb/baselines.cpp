@@ -1,0 +1,98 @@
+#include "lb/baselines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace lb {
+
+namespace {
+
+/// Index of the minimum over `kNumServers` observation entries starting at
+/// `base`.
+int argmin_slice(const netgym::Observation& obs, int base) {
+  int best = 0;
+  for (int i = 1; i < kNumServers; ++i) {
+    if (obs[base + i] < obs[base + best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+int LlfPolicy::act(const netgym::Observation& obs, netgym::Rng&) {
+  return argmin_slice(obs, LbEnv::kObsWork);
+}
+
+int ShortestCompletionPolicy::act(const netgym::Observation& obs,
+                                  netgym::Rng&) {
+  const double job_bytes = obs[LbEnv::kObsJobSize] * 10000.0;
+  int best = 0;
+  double best_completion = 1e18;
+  for (int i = 0; i < kNumServers; ++i) {
+    const double work_s = obs[LbEnv::kObsWork + i] * 10.0;
+    const double rate = std::max(obs[LbEnv::kObsRates + i] * 10000.0, 1e-6);
+    const double completion = work_s + job_bytes / rate;
+    if (completion < best_completion) {
+      best_completion = completion;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int LeastRequestsPolicy::act(const netgym::Observation& obs, netgym::Rng&) {
+  return argmin_slice(obs, LbEnv::kObsCount);
+}
+
+PowerOfTwoPolicy::PowerOfTwoPolicy(int d) : d_(d) {
+  if (d < 1 || d > lb::kNumServers) {
+    throw std::invalid_argument("PowerOfTwoPolicy: d out of range");
+  }
+}
+
+int PowerOfTwoPolicy::act(const netgym::Observation& obs, netgym::Rng& rng) {
+  // Sample d distinct servers (partial Fisher-Yates), pick the least loaded.
+  std::array<int, kNumServers> ids{};
+  for (int i = 0; i < kNumServers; ++i) ids[static_cast<std::size_t>(i)] = i;
+  int best = -1;
+  for (int i = 0; i < d_; ++i) {
+    const int j = rng.uniform_int(i, kNumServers - 1);
+    std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+    const int candidate = ids[static_cast<std::size_t>(i)];
+    if (best < 0 ||
+        obs[LbEnv::kObsWork + candidate] < obs[LbEnv::kObsWork + best]) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+int RandomLbPolicy::act(const netgym::Observation&, netgym::Rng& rng) {
+  return rng.uniform_int(0, kNumServers - 1);
+}
+
+int NaiveLbPolicy::act(const netgym::Observation& obs, netgym::Rng&) {
+  int worst = 0;
+  for (int i = 1; i < kNumServers; ++i) {
+    if (obs[LbEnv::kObsWork + i] > obs[LbEnv::kObsWork + worst]) worst = i;
+  }
+  return worst;
+}
+
+int OracleLbPolicy::act(const netgym::Observation&, netgym::Rng&) {
+  const double job_bytes = env_.current_job_bytes();
+  int best = 0;
+  double best_completion = 1e18;
+  for (int i = 0; i < kNumServers; ++i) {
+    const double completion = env_.true_queued_work_s(i) +
+                              job_bytes / env_.server_rate_bytes_per_s(i);
+    if (completion < best_completion) {
+      best_completion = completion;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace lb

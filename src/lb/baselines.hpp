@@ -1,0 +1,66 @@
+#pragma once
+
+#include "lb/env.hpp"
+#include "netgym/env.hpp"
+
+namespace lb {
+
+/// Least-load-first (LLF), the paper's rule-based LB baseline: assign the
+/// job to the server with the least queued work as shown in the observation.
+class LlfPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// Shortest-completion-first ("shortest-job-first" in S4.3): pick the server
+/// minimizing this job's completion time, queued work + size / rate, using
+/// the observed state.
+class ShortestCompletionPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// Fewest outstanding requests (join-shortest-queue by count).
+class LeastRequestsPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// Power-of-d-choices (JSQ(d)): sample d servers uniformly and assign to
+/// the least-loaded of them -- the classic randomized load balancer that
+/// approaches join-shortest-queue at a fraction of the state inspection.
+class PowerOfTwoPolicy : public netgym::Policy {
+ public:
+  explicit PowerOfTwoPolicy(int d = 2);
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+ private:
+  int d_;
+};
+
+/// Uniformly random assignment (reference point).
+class RandomLbPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// The deliberately unreasonable baseline of S5.4 ("choosing the highest
+/// loaded server"): assigns every job to the busiest server.
+class NaiveLbPolicy : public netgym::Policy {
+ public:
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+};
+
+/// Omniscient baseline: reads the environment's true (unshuffled) state and
+/// picks the completion-time-optimal server. Upper reference for
+/// gap-to-optimum comparisons.
+class OracleLbPolicy : public netgym::Policy {
+ public:
+  explicit OracleLbPolicy(const LbEnv& env) : env_(env) {}
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+ private:
+  const LbEnv& env_;
+};
+
+}  // namespace lb

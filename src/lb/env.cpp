@@ -1,0 +1,171 @@
+#include "lb/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lb {
+
+namespace {
+constexpr double kParetoShape = 2.0;
+constexpr double kMaxJobFactor = 50.0;  // cap Pareto tail at 50x scale
+}  // namespace
+
+netgym::ConfigSpace lb_config_space(int which) {
+  using P = netgym::ParamSpec;
+  switch (which) {
+    case 1:  // RL1 (Table 5)
+      return netgym::ConfigSpace({P{"service_rate", 0.1, 2, false, true},
+                                  P{"job_size_bytes", 100, 200, false, true},
+                                  P{"job_interval_s", 0.01, 0.05, false, true},
+                                  P{"num_jobs", 10, 100, true, true},
+                                  P{"queue_shuffle_prob", 0.1, 0.2}});
+    case 2:  // RL2
+      return netgym::ConfigSpace({P{"service_rate", 0.1, 5, false, true},
+                                  P{"job_size_bytes", 100, 10000, false, true},
+                                  P{"job_interval_s", 0.01, 0.1, false, true},
+                                  P{"num_jobs", 10, 1000, true, true},
+                                  P{"queue_shuffle_prob", 0.1, 0.5}});
+    case 3:  // RL3 (full ranges; see header note on the interval range)
+      return netgym::ConfigSpace({P{"service_rate", 0.1, 10, false, true},
+                                  P{"job_size_bytes", 1, 10000, false, true},
+                                  P{"job_interval_s", 0.01, 1, false, true},
+                                  P{"num_jobs", 10, 5000, true, true},
+                                  P{"queue_shuffle_prob", 0.1, 1}});
+    default:
+      throw std::invalid_argument("lb_config_space: which must be 1..3");
+  }
+}
+
+LbEnvConfig lb_config_from_point(const netgym::Config& point) {
+  if (point.values.size() != 5) {
+    throw std::invalid_argument("lb_config_from_point: expected 5 values");
+  }
+  LbEnvConfig cfg;
+  cfg.service_rate = point.values[0];
+  cfg.job_size_bytes = point.values[1];
+  cfg.job_interval_s = point.values[2];
+  cfg.num_jobs = point.values[3];
+  cfg.queue_shuffle_prob = point.values[4];
+  return cfg;
+}
+
+netgym::Config lb_point_from_config(const LbEnvConfig& cfg) {
+  return netgym::Config{{cfg.service_rate, cfg.job_size_bytes,
+                         cfg.job_interval_s, cfg.num_jobs,
+                         cfg.queue_shuffle_prob}};
+}
+
+LbEnv::LbEnv(LbEnvConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.service_rate <= 0 || config_.job_size_bytes <= 0 ||
+      config_.job_interval_s <= 0 || config_.num_jobs < 1) {
+    throw std::invalid_argument("LbEnv: invalid config");
+  }
+}
+
+double LbEnv::server_rate_bytes_per_s(int server) const {
+  if (server < 0 || server >= kNumServers) {
+    throw std::out_of_range("LbEnv: server index out of range");
+  }
+  return config_.service_rate * kServerSpread[server] *
+         kServiceRateUnitBytesPerS;
+}
+
+double LbEnv::true_queued_work_s(int server) const {
+  if (server < 0 || server >= kNumServers) {
+    throw std::out_of_range("LbEnv: server index out of range");
+  }
+  return work_s_[static_cast<std::size_t>(server)];
+}
+
+int LbEnv::true_queued_jobs(int server) const {
+  if (server < 0 || server >= kNumServers) {
+    throw std::out_of_range("LbEnv: server index out of range");
+  }
+  return jobs_[static_cast<std::size_t>(server)];
+}
+
+void LbEnv::draw_job() {
+  const double raw = rng_.pareto(kParetoShape, config_.job_size_bytes);
+  job_bytes_ = std::min(raw, config_.job_size_bytes * kMaxJobFactor);
+}
+
+netgym::Observation LbEnv::reset() {
+  work_s_.assign(kNumServers, 0.0);
+  jobs_.assign(kNumServers, 0);
+  jobs_done_ = 0;
+  total_jobs_ = static_cast<int>(std::lround(config_.num_jobs));
+  done_ = false;
+  draw_job();
+  return make_observation();
+}
+
+netgym::Env::StepResult LbEnv::step(int action) {
+  if (done_) throw std::logic_error("LbEnv::step: episode already finished");
+  if (action < 0 || action >= kNumServers) {
+    throw std::invalid_argument("LbEnv::step: server index out of range");
+  }
+  const auto s = static_cast<std::size_t>(action);
+  const double processing_s =
+      job_bytes_ / server_rate_bytes_per_s(action);
+  const double waiting_s = work_s_[s];
+  const double delay_s = std::min(waiting_s + processing_s, kMaxDelayS);
+  work_s_[s] += processing_s;
+  jobs_[s] += 1;
+
+  // Advance time to the next arrival; queues drain in wall-clock seconds.
+  const double dt = rng_.exponential(1.0 / config_.job_interval_s);
+  for (int i = 0; i < kNumServers; ++i) {
+    const auto si = static_cast<std::size_t>(i);
+    const double old_work = work_s_[si];
+    const double remaining = old_work - dt;
+    if (remaining <= 0) {
+      work_s_[si] = 0.0;
+      jobs_[si] = 0;
+    } else {
+      work_s_[si] = remaining;
+      // Approximate completed-job accounting: jobs leave in FIFO order at a
+      // uniform per-job share of the queued work.
+      const double fraction = remaining / std::max(old_work, 1e-9);
+      jobs_[si] = std::max(1, static_cast<int>(
+                                  std::ceil(jobs_[si] * fraction)));
+    }
+  }
+
+  ++jobs_done_;
+  done_ = jobs_done_ >= total_jobs_;
+  draw_job();
+
+  StepResult result;
+  result.reward = -delay_s;
+  result.done = done_;
+  result.observation = make_observation();
+  return result;
+}
+
+netgym::Observation LbEnv::make_observation() {
+  perm_.resize(kNumServers);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  if (rng_.bernoulli(config_.queue_shuffle_prob)) {
+    std::shuffle(perm_.begin(), perm_.end(), rng_.engine());
+  }
+  netgym::Observation obs(kObsSize, 0.0);
+  for (int i = 0; i < kNumServers; ++i) {
+    const auto src = static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)]);
+    obs[kObsWork + i] = work_s_[src] / 10.0;
+    obs[kObsCount + i] = jobs_[src] / 10.0;
+    obs[kObsRates + i] = server_rate_bytes_per_s(perm_[static_cast<std::size_t>(i)]) / 10000.0;
+  }
+  obs[kObsJobSize] = job_bytes_ / 10000.0;
+  obs[kObsInterval] = config_.job_interval_s;
+  return obs;
+}
+
+std::unique_ptr<LbEnv> make_lb_env(const LbEnvConfig& config,
+                                   netgym::Rng& rng) {
+  return std::make_unique<LbEnv>(config, rng.engine()());
+}
+
+}  // namespace lb

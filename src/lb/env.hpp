@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netgym/config.hpp"
+#include "netgym/env.hpp"
+
+namespace lb {
+
+/// Number of backend servers, with heterogeneous service-rate multipliers
+/// (the Park load-balancer environment uses a fixed heterogeneous fleet;
+/// Table 5's default column lists per-server rates).
+inline constexpr int kNumServers = 8;
+inline constexpr double kServerSpread[kNumServers] = {0.5, 0.7, 0.9, 1.1,
+                                                      1.3, 1.5, 1.8, 2.2};
+/// Bytes/second processed by a server with `service_rate * spread == 1`.
+inline constexpr double kServiceRateUnitBytesPerS = 5000.0;
+
+/// Environment parameters of the LB simulator (Table 5 / Appendix A.2).
+/// Jobs arrive as a Poisson process (exponential inter-arrival times with
+/// mean `job_interval_s`); job sizes are Pareto(shape 2, scale `job_size`).
+/// `queue_shuffle_prob` is the probability that the *observation* presents
+/// the per-server state in a random permutation while actions keep
+/// addressing physical servers — an observation-corruption knob that makes
+/// environments harder as it grows.
+struct LbEnvConfig {
+  double service_rate = 1.0;
+  double job_size_bytes = 2000.0;
+  double job_interval_s = 0.1;
+  double num_jobs = 500.0;
+  double queue_shuffle_prob = 0.5;
+};
+
+/// The 5-dimensional LB configuration space of Table 5. (Table 5 prints the
+/// RL3 job-interval range as [0.1, 1], which would not contain RL1/RL2; we
+/// use [0.01, 1] to preserve the paper's nested RL1 c RL2 c RL3 structure.)
+netgym::ConfigSpace lb_config_space(int which);
+
+LbEnvConfig lb_config_from_point(const netgym::Config& point);
+netgym::Config lb_point_from_config(const LbEnvConfig& cfg);
+
+/// Load-balancing simulator in the style of Park's: each step assigns the
+/// newly arrived job to one of `kNumServers` FIFO servers; the reward is the
+/// negative completion delay (queueing + processing) of that job in seconds
+/// (Table 1's  -sum Delay_i / n), capped at `kMaxDelayS` -- an SLA-timeout
+/// bound that keeps rewards finite on overloaded configurations (the RL3
+/// ranges of Table 5 include arrival rates far above total service
+/// capacity, where uncapped delays would grow without bound and swamp every
+/// comparison). Between arrivals every server drains its queue at its own
+/// service rate.
+///
+/// Observation layout (k = kNumServers):
+///   [0 .. k-1]    queued work per server, seconds / 10  (possibly shuffled)
+///   [k .. 2k-1]   queued job count per server / 10       (same permutation)
+///   [2k .. 3k-1]  server service rate, bytes/s / 10000   (same permutation)
+///   [3k]          current job size, bytes / 10000
+///   [3k+1]        mean job inter-arrival time, seconds
+class LbEnv : public netgym::Env {
+ public:
+  static constexpr double kMaxDelayS = 30.0;
+  static constexpr int kObsSize = 3 * kNumServers + 2;
+  static constexpr int kObsWork = 0;
+  static constexpr int kObsCount = kNumServers;
+  static constexpr int kObsRates = 2 * kNumServers;
+  static constexpr int kObsJobSize = 3 * kNumServers;
+  static constexpr int kObsInterval = 3 * kNumServers + 1;
+
+  LbEnv(LbEnvConfig config, std::uint64_t seed);
+
+  netgym::Observation reset() override;
+  StepResult step(int action) override;
+  int action_count() const override { return kNumServers; }
+  std::size_t observation_size() const override { return kObsSize; }
+
+  const LbEnvConfig& config() const { return config_; }
+
+  /// True per-server state (bypasses the shuffled observation); used only by
+  /// the omniscient oracle baseline and by tests.
+  double true_queued_work_s(int server) const;
+  int true_queued_jobs(int server) const;
+  double server_rate_bytes_per_s(int server) const;
+  double current_job_bytes() const { return job_bytes_; }
+
+ private:
+  void draw_job();
+  netgym::Observation make_observation();
+
+  LbEnvConfig config_;
+  netgym::Rng rng_;
+  std::vector<double> work_s_;   // queued + in-progress work, seconds
+  std::vector<int> jobs_;        // outstanding job count
+  double job_bytes_ = 0.0;
+  int jobs_done_ = 0;
+  int total_jobs_ = 0;
+  bool done_ = true;
+  std::vector<int> perm_;        // observation permutation of the last obs
+};
+
+std::unique_ptr<LbEnv> make_lb_env(const LbEnvConfig& config,
+                                   netgym::Rng& rng);
+
+}  // namespace lb

@@ -1,0 +1,159 @@
+#include "netgym/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netgym {
+
+namespace {
+constexpr double kRangeTolerance = 1e-9;
+}
+
+ConfigSpace::ConfigSpace(std::vector<ParamSpec> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (p.lo > p.hi) {
+      throw std::invalid_argument("ConfigSpace: parameter '" + p.name +
+                                  "' has lo > hi");
+    }
+    if (p.log_scale && p.lo <= 0) {
+      throw std::invalid_argument("ConfigSpace: log-scale parameter '" +
+                                  p.name + "' needs lo > 0");
+    }
+  }
+}
+
+const ParamSpec& ConfigSpace::param(std::size_t i) const {
+  if (i >= params_.size()) {
+    throw std::out_of_range("ConfigSpace::param: index out of range");
+  }
+  return params_[i];
+}
+
+std::size_t ConfigSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  throw std::invalid_argument("ConfigSpace: no parameter named '" + name + "'");
+}
+
+bool ConfigSpace::contains(const Config& c) const {
+  if (c.values.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (c.values[i] < params_[i].lo - kRangeTolerance ||
+        c.values[i] > params_[i].hi + kRangeTolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Config ConfigSpace::clamp(const Config& c) const {
+  if (c.values.size() != params_.size()) {
+    throw std::invalid_argument("ConfigSpace::clamp: arity mismatch");
+  }
+  Config out = c;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    out.values[i] = std::clamp(out.values[i], params_[i].lo, params_[i].hi);
+    if (params_[i].integer) out.values[i] = std::round(out.values[i]);
+  }
+  return out;
+}
+
+Config ConfigSpace::sample(Rng& rng) const {
+  Config c;
+  c.values.reserve(params_.size());
+  for (const auto& p : params_) {
+    double v = p.log_scale
+                   ? std::exp(rng.uniform(std::log(p.lo), std::log(p.hi)))
+                   : rng.uniform(p.lo, p.hi);
+    if (p.integer) v = std::round(v);
+    c.values.push_back(v);
+  }
+  return c;
+}
+
+Config ConfigSpace::midpoint() const {
+  Config c;
+  c.values.reserve(params_.size());
+  for (const auto& p : params_) {
+    double v = p.log_scale ? std::sqrt(p.lo * p.hi)  // geometric midpoint
+                           : 0.5 * (p.lo + p.hi);
+    if (p.integer) v = std::round(v);
+    c.values.push_back(v);
+  }
+  return c;
+}
+
+std::vector<double> ConfigSpace::normalize(const Config& c) const {
+  if (c.values.size() != params_.size()) {
+    throw std::invalid_argument("ConfigSpace::normalize: arity mismatch");
+  }
+  std::vector<double> unit(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    double u;
+    if (p.log_scale) {
+      const double span = std::log(p.hi) - std::log(p.lo);
+      u = span > 0
+              ? (std::log(std::max(c.values[i], p.lo)) - std::log(p.lo)) / span
+              : 0.5;
+    } else {
+      const double span = p.hi - p.lo;
+      u = span > 0 ? (c.values[i] - p.lo) / span : 0.5;
+    }
+    unit[i] = std::clamp(u, 0.0, 1.0);
+  }
+  return unit;
+}
+
+Config ConfigSpace::denormalize(const std::vector<double>& unit) const {
+  if (unit.size() != params_.size()) {
+    throw std::invalid_argument("ConfigSpace::denormalize: arity mismatch");
+  }
+  Config c;
+  c.values.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const ParamSpec& p = params_[i];
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    double v = p.log_scale
+                   ? std::exp(std::log(p.lo) +
+                              u * (std::log(p.hi) - std::log(p.lo)))
+                   : p.lo + u * (p.hi - p.lo);
+    if (p.integer) v = std::round(v);
+    c.values.push_back(v);
+  }
+  return c;
+}
+
+ConfigDistribution::ConfigDistribution(ConfigSpace space)
+    : space_(std::move(space)) {}
+
+Config ConfigDistribution::sample(Rng& rng) const {
+  if (!points_.empty()) {
+    std::vector<double> weights;
+    weights.reserve(points_.size() + 1);
+    weights.push_back(uniform_weight_);
+    for (const auto& [config, w] : points_) weights.push_back(w);
+    const std::size_t pick = rng.categorical(weights);
+    if (pick > 0) return points_[pick - 1].first;
+  }
+  return space_.sample(rng);
+}
+
+void ConfigDistribution::promote(const Config& config, double w) {
+  if (!(w > 0.0 && w < 1.0)) {
+    throw std::invalid_argument("ConfigDistribution::promote: w must be in (0,1)");
+  }
+  if (config.values.size() != space_.dims()) {
+    throw std::invalid_argument("ConfigDistribution::promote: arity mismatch");
+  }
+  uniform_weight_ *= (1.0 - w);
+  for (auto& [c, weight] : points_) weight *= (1.0 - w);
+  points_.emplace_back(space_.clamp(config), w);
+}
+
+double ConfigDistribution::uniform_weight() const { return uniform_weight_; }
+
+}  // namespace netgym

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netgym/rng.hpp"
+
+namespace netgym {
+
+/// One dimension of an environment configuration space (a row of the paper's
+/// Tables 3-5): a named numeric parameter with an inclusive range.
+/// S4.2: the initial training distribution is "uniform or exponential along
+/// each parameter" -- scale-like dimensions (bandwidth, RTT, job size) set
+/// `log_scale` and are sampled/normalized uniformly in log space, which is
+/// the exponential-style option; the rest stay linear.
+struct ParamSpec {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool integer = false;    ///< round sampled values to the nearest integer
+  bool log_scale = false;  ///< sample/normalize uniformly in log space
+};
+
+/// A point in a configuration space: one value per dimension, in the same
+/// order as the owning `ConfigSpace`'s parameters. A configuration seeds an
+/// environment generator; individual environments add their own randomness
+/// (Appendix A.1's "N random envs per config").
+struct Config {
+  std::vector<double> values;
+
+  bool operator==(const Config&) const = default;
+};
+
+/// A box-shaped space of environment configurations (one of the paper's
+/// RL1/RL2/RL3 ranges). Provides uniform sampling, normalization to the unit
+/// cube (used by the Bayesian-optimization search), and named access.
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+  explicit ConfigSpace(std::vector<ParamSpec> params);
+
+  std::size_t dims() const { return params_.size(); }
+  const std::vector<ParamSpec>& params() const { return params_; }
+  const ParamSpec& param(std::size_t i) const;
+
+  /// Index of the dimension with the given name; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// True if the config has the right arity and every value is in range
+  /// (with a small tolerance for floating-point round-trips).
+  bool contains(const Config& c) const;
+
+  /// Clamp each value of `c` into this space's ranges.
+  Config clamp(const Config& c) const;
+
+  /// Uniform sample over the box.
+  Config sample(Rng& rng) const;
+
+  /// Config with every dimension at the midpoint of its range.
+  Config midpoint() const;
+
+  /// Map a config to the unit cube [0,1]^d (degenerate dims map to 0.5).
+  std::vector<double> normalize(const Config& c) const;
+
+  /// Inverse of `normalize`; unit-cube coordinates are clamped to [0,1].
+  Config denormalize(const std::vector<double>& unit) const;
+
+ private:
+  std::vector<ParamSpec> params_;
+};
+
+/// A probability distribution over configurations: a mixture of (a) the
+/// uniform distribution over a base space and (b) point configurations
+/// promoted by the curriculum. Genet's update rule (S4.2) is
+/// `dist <- (1-w) * dist + w * {new config}`.
+class ConfigDistribution {
+ public:
+  explicit ConfigDistribution(ConfigSpace space);
+
+  const ConfigSpace& space() const { return space_; }
+
+  /// Draw a configuration: pick a mixture component by weight; the uniform
+  /// component samples the box, a point component returns its config.
+  Config sample(Rng& rng) const;
+
+  /// Add a point component with weight `w` in (0,1), scaling all existing
+  /// component weights by `1 - w`.
+  void promote(const Config& config, double w);
+
+  /// Weight currently held by the original uniform-over-space component.
+  double uniform_weight() const;
+
+  /// Number of promoted point components.
+  std::size_t num_promoted() const { return points_.size(); }
+
+  const std::vector<std::pair<Config, double>>& promoted() const {
+    return points_;
+  }
+
+ private:
+  ConfigSpace space_;
+  double uniform_weight_ = 1.0;
+  std::vector<std::pair<Config, double>> points_;
+};
+
+}  // namespace netgym

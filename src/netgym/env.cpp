@@ -1,0 +1,30 @@
+#include "netgym/env.hpp"
+
+#include <stdexcept>
+
+namespace netgym {
+
+EpisodeStats run_episode(Env& env, Policy& policy, Rng& rng, int max_steps) {
+  if (max_steps <= 0) {
+    throw std::invalid_argument("run_episode: max_steps must be > 0");
+  }
+  EpisodeStats stats;
+  policy.begin_episode();
+  Observation obs = env.reset();
+  for (int i = 0; i < max_steps; ++i) {
+    const int action = policy.act(obs, rng);
+    if (action < 0 || action >= env.action_count()) {
+      throw std::logic_error("run_episode: policy produced an invalid action");
+    }
+    Env::StepResult result = env.step(action);
+    stats.total_reward += result.reward;
+    ++stats.steps;
+    if (result.done) break;
+    obs = std::move(result.observation);
+  }
+  stats.mean_reward =
+      stats.steps > 0 ? stats.total_reward / stats.steps : 0.0;
+  return stats;
+}
+
+}  // namespace netgym

@@ -1,0 +1,67 @@
+#include "netgym/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace netgym {
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::gaussian(double mean, double sd) {
+  if (sd < 0) throw std::invalid_argument("Rng::gaussian: sd < 0");
+  if (sd == 0) return mean;
+  return std::normal_distribution<double>(mean, sd)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0) throw std::invalid_argument("Rng::exponential: rate <= 0");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::pareto(double shape, double scale) {
+  if (shape <= 0 || scale <= 0) {
+    throw std::invalid_argument("Rng::pareto: shape and scale must be > 0");
+  }
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  // Inverse-CDF sampling; 1-u avoids u == 0 producing infinity.
+  return scale / std::pow(1.0 - u, 1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(clamped)(engine_);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("Rng::categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("Rng::categorical: all weights zero");
+  }
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() {
+  return Rng(engine_());
+}
+
+}  // namespace netgym

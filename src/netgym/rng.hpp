@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace netgym {
+
+/// Seeded random-number generator used by every stochastic component in the
+/// library. There is deliberately no global RNG: each simulator, trainer, and
+/// search procedure receives (or owns) an `Rng`, which makes every experiment
+/// reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi). Requires lo <= hi; returns lo when lo == hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Gaussian sample with the given mean and standard deviation (sd >= 0).
+  double gaussian(double mean, double sd);
+
+  /// Exponential sample with the given rate (rate > 0).
+  double exponential(double rate);
+
+  /// Pareto sample with the given shape and scale (both > 0).
+  double pareto(double shape, double scale);
+
+  /// Bernoulli trial with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Index sampled from a discrete distribution with the given non-negative
+  /// weights. Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Derive an independent child generator; used to hand each parallel
+  /// component its own stream.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace netgym

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+namespace netgym {
+
+/// Small statistics toolkit used by the evaluation harnesses (means,
+/// percentiles for Fig. 17's 90th-percentile metrics, Pearson correlation for
+/// Fig. 6). All functions take their input by const reference and do not
+/// modify it.
+
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+double median(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient; 0 when either series is constant.
+/// Throws if the series differ in length or have fewer than 2 points.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fraction of entries for which `xs[i] > ys[i]` (Fig. 15's win fraction).
+double win_fraction(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+}  // namespace netgym

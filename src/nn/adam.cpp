@@ -1,0 +1,49 @@
+#include "nn/adam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nn {
+
+Adam::Adam(std::size_t num_params, Options options)
+    : options_(options), m_(num_params, 0.0), v_(num_params, 0.0) {
+  if (options_.lr <= 0) throw std::invalid_argument("Adam: lr must be > 0");
+  if (options_.beta1 < 0 || options_.beta1 >= 1 || options_.beta2 < 0 ||
+      options_.beta2 >= 1) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+}
+
+void Adam::step(std::vector<double>& params,
+                const std::vector<double>& grads) {
+  if (params.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("Adam::step: size mismatch");
+  }
+  double scale = 1.0;
+  if (options_.max_grad_norm > 0) {
+    double norm_sq = 0.0;
+    for (double g : grads) norm_sq += g * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.max_grad_norm) scale = options_.max_grad_norm / norm;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = grads[i] * scale;
+    m_[i] = options_.beta1 * m_[i] + (1.0 - options_.beta1) * g;
+    v_[i] = options_.beta2 * v_[i] + (1.0 - options_.beta2) * g * g;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.epsilon);
+  }
+}
+
+void Adam::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace nn

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nn {
+
+/// Adam optimizer over a flat parameter vector (Kingma & Ba, 2015), the
+/// update rule used by both of our policy-gradient trainers. One `Adam`
+/// instance is bound to one parameter vector's size; `step` applies a single
+/// update from the accumulated gradients.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// Gradients with L2 norm above this are rescaled (0 disables clipping).
+    double max_grad_norm = 5.0;
+  };
+
+  explicit Adam(std::size_t num_params) : Adam(num_params, Options{}) {}
+  Adam(std::size_t num_params, Options options);
+
+  /// Apply one Adam update: params -= lr * mhat / (sqrt(vhat) + eps).
+  /// `params` and `grads` must both match the constructor's size.
+  void step(std::vector<double>& params, const std::vector<double>& grads);
+
+  /// Reset first/second moment estimates and the step counter.
+  void reset();
+
+  const Options& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.lr = lr; }
+
+ private:
+  Options options_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  long t_ = 0;
+};
+
+}  // namespace nn

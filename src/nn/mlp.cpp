@@ -1,0 +1,166 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nn {
+
+namespace {
+
+double activate(Activation act, double z) {
+  switch (act) {
+    case Activation::kTanh:
+      return std::tanh(z);
+    case Activation::kRelu:
+      return z > 0 ? z : 0.0;
+  }
+  return z;
+}
+
+/// Derivative of the activation expressed in terms of z (pre-activation).
+double activate_grad(Activation act, double z) {
+  switch (act) {
+    case Activation::kTanh: {
+      const double t = std::tanh(z);
+      return 1.0 - t * t;
+    }
+    case Activation::kRelu:
+      return z > 0 ? 1.0 : 0.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Mlp::Mlp(std::vector<int> sizes, Activation activation, netgym::Rng& rng)
+    : sizes_(std::move(sizes)), activation_(activation) {
+  if (sizes_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  }
+  for (int s : sizes_) {
+    if (s <= 0) throw std::invalid_argument("Mlp: layer sizes must be > 0");
+  }
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    weight_offsets_.push_back(total);
+    total += static_cast<std::size_t>(sizes_[l]) * sizes_[l + 1];
+    bias_offsets_.push_back(total);
+    total += static_cast<std::size_t>(sizes_[l + 1]);
+  }
+  params_.resize(total);
+  grads_.assign(total, 0.0);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const int n_in = sizes_[l];
+    const int n_out = sizes_[l + 1];
+    const double scale = std::sqrt(2.0 / (n_in + n_out));  // Xavier
+    double* w = params_.data() + weight_offsets_[l];
+    for (int i = 0; i < n_out * n_in; ++i) w[i] = rng.gaussian(0.0, scale);
+    double* b = params_.data() + bias_offsets_[l];
+    for (int i = 0; i < n_out; ++i) b[i] = 0.0;
+  }
+  activations_.resize(sizes_.size());
+  pre_activations_.resize(sizes_.size() - 1);
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& input) {
+  if (static_cast<int>(input.size()) != sizes_.front()) {
+    throw std::invalid_argument("Mlp::forward: input size mismatch");
+  }
+  activations_[0] = input;
+  const std::size_t num_layers = sizes_.size() - 1;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const int n_in = sizes_[l];
+    const int n_out = sizes_[l + 1];
+    const double* w = params_.data() + weight_offsets_[l];
+    const double* b = params_.data() + bias_offsets_[l];
+    const std::vector<double>& a = activations_[l];
+    std::vector<double>& z = pre_activations_[l];
+    z.assign(static_cast<std::size_t>(n_out), 0.0);
+    for (int i = 0; i < n_out; ++i) {
+      const double* wrow = w + static_cast<std::size_t>(i) * n_in;
+      double acc = b[i];
+      for (int j = 0; j < n_in; ++j) acc += wrow[j] * a[j];
+      z[i] = acc;
+    }
+    std::vector<double>& out = activations_[l + 1];
+    out.resize(static_cast<std::size_t>(n_out));
+    const bool last = (l + 1 == num_layers);
+    for (int i = 0; i < n_out; ++i) {
+      out[i] = last ? z[i] : activate(activation_, z[i]);
+    }
+  }
+  has_forward_cache_ = true;
+  return activations_.back();
+}
+
+void Mlp::backward(const std::vector<double>& grad_output) {
+  if (!has_forward_cache_) {
+    throw std::logic_error("Mlp::backward: no cached forward pass");
+  }
+  if (static_cast<int>(grad_output.size()) != sizes_.back()) {
+    throw std::invalid_argument("Mlp::backward: grad size mismatch");
+  }
+  const std::size_t num_layers = sizes_.size() - 1;
+  // delta holds dL/dz for the current layer (output layer is linear).
+  std::vector<double> delta = grad_output;
+  for (std::size_t li = num_layers; li-- > 0;) {
+    const int n_in = sizes_[li];
+    const int n_out = sizes_[li + 1];
+    const double* w = params_.data() + weight_offsets_[li];
+    double* gw = grads_.data() + weight_offsets_[li];
+    double* gb = grads_.data() + bias_offsets_[li];
+    const std::vector<double>& a = activations_[li];
+    for (int i = 0; i < n_out; ++i) {
+      gb[i] += delta[i];
+      double* gwrow = gw + static_cast<std::size_t>(i) * n_in;
+      for (int j = 0; j < n_in; ++j) gwrow[j] += delta[i] * a[j];
+    }
+    if (li == 0) break;
+    std::vector<double> prev_delta(static_cast<std::size_t>(n_in), 0.0);
+    for (int j = 0; j < n_in; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < n_out; ++i) {
+        acc += w[static_cast<std::size_t>(i) * n_in + j] * delta[i];
+      }
+      // a[j] of this layer is the post-activation of layer li-1.
+      acc *= activate_grad(activation_, pre_activations_[li - 1][j]);
+      prev_delta[j] = acc;
+    }
+    delta = std::move(prev_delta);
+  }
+}
+
+void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+void Mlp::set_params(const std::vector<double>& params) {
+  if (params.size() != params_.size()) {
+    throw std::invalid_argument("Mlp::set_params: size mismatch");
+  }
+  params_ = params;
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  if (logits.empty()) throw std::invalid_argument("softmax: empty input");
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+double log_softmax_at(const std::vector<double>& logits, int index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= logits.size()) {
+    throw std::invalid_argument("log_softmax_at: index out of range");
+  }
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double z : logits) total += std::exp(z - mx);
+  return logits[static_cast<std::size_t>(index)] - mx - std::log(total);
+}
+
+}  // namespace nn

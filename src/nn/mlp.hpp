@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netgym/rng.hpp"
+
+namespace nn {
+
+/// Hidden-layer activation of an `Mlp`. The output layer is always linear
+/// (policy heads apply softmax themselves; value heads are scalar).
+enum class Activation { kTanh, kRelu };
+
+/// A small fully-connected network with flat parameter storage.
+///
+/// All weights and biases live in one contiguous vector (`params()`), with a
+/// parallel gradient vector (`grads()`), so optimizers operate on flat arrays
+/// and snapshotting a policy is a vector copy. The layout per layer `l`
+/// (input width `n_in`, output width `n_out`) is a row-major `n_out x n_in`
+/// weight block followed by `n_out` biases.
+///
+/// `forward` caches per-layer activations; `backward` consumes that cache, so
+/// the call pattern per sample is forward -> backward. Gradients accumulate
+/// across samples until `zero_grad()`.
+class Mlp {
+ public:
+  /// `sizes` lists the widths of every layer, e.g. {10, 32, 32, 6} is a net
+  /// with 10 inputs, two hidden layers of 32, and 6 outputs. Weights are
+  /// Xavier-initialized from `rng`.
+  Mlp(std::vector<int> sizes, Activation activation, netgym::Rng& rng);
+
+  int input_size() const { return sizes_.front(); }
+  int output_size() const { return sizes_.back(); }
+
+  /// Run the network; returns the (linear) output layer values.
+  std::vector<double> forward(const std::vector<double>& input);
+
+  /// Backpropagate `dL/doutput` through the cached forward pass, accumulating
+  /// parameter gradients. Must follow a `forward` call.
+  void backward(const std::vector<double>& grad_output);
+
+  void zero_grad();
+
+  std::vector<double>& params() { return params_; }
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& grads() { return grads_; }
+  const std::vector<double>& grads() const { return grads_; }
+
+  /// Replace all parameters (sizes must match); used to restore snapshots.
+  void set_params(const std::vector<double>& params);
+
+  std::size_t num_params() const { return params_.size(); }
+
+ private:
+  std::vector<int> sizes_;
+  Activation activation_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  std::vector<std::size_t> weight_offsets_;  // per layer
+  std::vector<std::size_t> bias_offsets_;    // per layer
+  // Forward-pass cache: activations_[0] is the input, activations_[l+1] the
+  // post-activation output of layer l; pre_activations_[l] the layer's z.
+  std::vector<std::vector<double>> activations_;
+  std::vector<std::vector<double>> pre_activations_;
+  bool has_forward_cache_ = false;
+};
+
+/// Numerically stable softmax.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+/// log(softmax(logits)[index]) computed stably.
+double log_softmax_at(const std::vector<double>& logits, int index);
+
+}  // namespace nn

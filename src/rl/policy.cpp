@@ -1,0 +1,45 @@
+#include "rl/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rl {
+
+namespace {
+std::vector<int> make_sizes(int obs_size, int action_count,
+                            const std::vector<int>& hidden) {
+  if (obs_size <= 0 || action_count <= 0) {
+    throw std::invalid_argument("MlpPolicy: sizes must be > 0");
+  }
+  std::vector<int> sizes;
+  sizes.push_back(obs_size);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(action_count);
+  return sizes;
+}
+}  // namespace
+
+MlpPolicy::MlpPolicy(int obs_size, int action_count,
+                     const std::vector<int>& hidden, netgym::Rng& rng)
+    : net_(make_sizes(obs_size, action_count, hidden), nn::Activation::kTanh,
+           rng) {}
+
+int MlpPolicy::act(const netgym::Observation& obs, netgym::Rng& rng) {
+  const std::vector<double> z = net_.forward(obs);
+  if (greedy_) {
+    return static_cast<int>(
+        std::distance(z.begin(), std::max_element(z.begin(), z.end())));
+  }
+  const std::vector<double> p = nn::softmax(z);
+  return static_cast<int>(rng.categorical(p));
+}
+
+std::vector<double> MlpPolicy::logits(const netgym::Observation& obs) {
+  return net_.forward(obs);
+}
+
+std::vector<double> MlpPolicy::probs(const netgym::Observation& obs) {
+  return nn::softmax(net_.forward(obs));
+}
+
+}  // namespace rl

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "netgym/env.hpp"
+#include "netgym/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace rl {
+
+/// A categorical (softmax) policy over a discrete action space, backed by an
+/// MLP that maps observations to logits. This is the DNN policy shape used by
+/// all three use cases (bitrate index for ABR, rate-change level for CC,
+/// server index for LB).
+///
+/// `act` samples from the softmax distribution (training / stochastic
+/// evaluation); `set_greedy(true)` switches to argmax actions (deployment
+/// evaluation, the mode used by every test harness).
+class MlpPolicy : public netgym::Policy {
+ public:
+  MlpPolicy(int obs_size, int action_count, const std::vector<int>& hidden,
+            netgym::Rng& rng);
+
+  int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+  /// Logits for an observation (runs a forward pass).
+  std::vector<double> logits(const netgym::Observation& obs);
+
+  /// Action probabilities for an observation.
+  std::vector<double> probs(const netgym::Observation& obs);
+
+  bool greedy() const { return greedy_; }
+  void set_greedy(bool greedy) { greedy_ = greedy; }
+
+  int action_count() const { return net_.output_size(); }
+  int obs_size() const { return net_.input_size(); }
+
+  nn::Mlp& net() { return net_; }
+  const nn::Mlp& net() const { return net_; }
+
+  /// Copy of all network parameters (for model snapshots / restarts).
+  std::vector<double> snapshot() const { return net_.params(); }
+  void restore(const std::vector<double>& params) { net_.set_params(params); }
+
+ private:
+  nn::Mlp net_;
+  bool greedy_ = false;
+};
+
+}  // namespace rl

@@ -1,0 +1,235 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rl {
+
+namespace {
+
+std::vector<int> critic_sizes(int obs_size, const std::vector<int>& hidden) {
+  std::vector<int> sizes;
+  sizes.push_back(obs_size);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(1);
+  return sizes;
+}
+
+double entropy_of(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 1e-12) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
+                           netgym::Rng& rng, int episodes,
+                           int max_steps_per_episode) {
+  if (episodes <= 0) {
+    throw std::invalid_argument("collect_batch: episodes must be > 0");
+  }
+  RolloutBatch batch;
+  for (int e = 0; e < episodes; ++e) {
+    std::unique_ptr<netgym::Env> env = factory(rng);
+    policy.begin_episode();
+    netgym::Observation obs = env->reset();
+    for (int s = 0; s < max_steps_per_episode; ++s) {
+      const int action = policy.act(obs, rng);
+      netgym::Env::StepResult result = env->step(action);
+      const bool last_step = result.done || (s + 1 == max_steps_per_episode);
+      batch.transitions.push_back(
+          Transition{std::move(obs), action, result.reward, last_step});
+      if (result.done) break;
+      obs = std::move(result.observation);
+    }
+  }
+  return batch;
+}
+
+ActorCriticBase::ActorCriticBase(int obs_size, int action_count,
+                                 TrainerOptions options, std::uint64_t seed)
+    : options_(std::move(options)),
+      rng_(seed),
+      policy_(obs_size, action_count, options_.hidden, rng_),
+      critic_(critic_sizes(obs_size, options_.hidden), nn::Activation::kTanh,
+              rng_),
+      actor_opt_(policy_.net().num_params(), {.lr = options_.actor_lr}),
+      critic_opt_(critic_.num_params(), {.lr = options_.critic_lr}) {}
+
+void ActorCriticBase::observe_returns(const std::vector<double>& returns) {
+  for (double g : returns) return_norm_.update(g);
+}
+
+double ActorCriticBase::critic_value(const netgym::Observation& obs) {
+  return critic_.forward(obs)[0];
+}
+
+double ActorCriticBase::next_entropy_coef() {
+  const long t = iterations_done_++;
+  if (options_.entropy_decay_iters <= 0) return options_.entropy_coef_final;
+  const double progress = std::min(
+      static_cast<double>(t) / options_.entropy_decay_iters, 1.0);
+  return options_.entropy_coef +
+         progress * (options_.entropy_coef_final - options_.entropy_coef);
+}
+
+IterationStats A2CTrainer::train_iteration(const EnvFactory& factory) {
+  RolloutBatch batch =
+      collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
+                    options_.max_steps_per_episode);
+  IterationStats stats;
+  stats.episodes = batch.num_episodes();
+  stats.steps = static_cast<int>(batch.size());
+  stats.mean_episode_reward = batch.mean_episode_reward();
+  stats.mean_step_reward =
+      batch.empty() ? 0.0 : batch.total_reward() / batch.size();
+  if (batch.empty()) return stats;
+
+  // Scale rewards by the running return magnitude so actor/critic step sizes
+  // are task-independent, then recompute returns on the scaled rewards.
+  std::vector<double> raw_returns = discounted_returns(batch, options_.gamma);
+  observe_returns(raw_returns);
+  const double scale = reward_scale();
+  std::vector<double> returns(raw_returns.size());
+  for (std::size_t i = 0; i < returns.size(); ++i) {
+    returns[i] = raw_returns[i] / scale;
+  }
+
+  std::vector<double> values(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    values[i] = critic_value(batch.transitions[i].obs);
+  }
+  std::vector<double> adv(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    adv[i] = returns[i] - values[i];
+  }
+  normalize(adv);
+
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  const double ent_coef = next_entropy_coef();
+  double entropy_sum = 0.0;
+
+  // Actor: dL/dz_j = [-A * (1[a=j] - p_j) + c * p_j (log p_j + H)] / N.
+  policy_.net().zero_grad();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = batch.transitions[i];
+    const std::vector<double> logits = policy_.net().forward(t.obs);
+    const std::vector<double> p = nn::softmax(logits);
+    const double h = entropy_of(p);
+    entropy_sum += h;
+    std::vector<double> grad(p.size());
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double onehot = (static_cast<int>(j) == t.action) ? 1.0 : 0.0;
+      const double pg = -adv[i] * (onehot - p[j]);
+      const double eg =
+          ent_coef * p[j] * (std::log(std::max(p[j], 1e-12)) + h);
+      grad[j] = (pg + eg) * inv_n;
+    }
+    policy_.net().backward(grad);
+  }
+  actor_opt_.step(policy_.net().params(), policy_.net().grads());
+
+  // Critic: MSE against scaled returns.
+  critic_.zero_grad();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double v = critic_.forward(batch.transitions[i].obs)[0];
+    critic_.backward({2.0 * (v - returns[i]) * inv_n});
+  }
+  critic_opt_.step(critic_.params(), critic_.grads());
+
+  stats.mean_entropy = entropy_sum * inv_n;
+  return stats;
+}
+
+IterationStats PPOTrainer::train_iteration(const EnvFactory& factory) {
+  RolloutBatch batch =
+      collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
+                    options_.max_steps_per_episode);
+  IterationStats stats;
+  stats.episodes = batch.num_episodes();
+  stats.steps = static_cast<int>(batch.size());
+  stats.mean_episode_reward = batch.mean_episode_reward();
+  stats.mean_step_reward =
+      batch.empty() ? 0.0 : batch.total_reward() / batch.size();
+  if (batch.empty()) return stats;
+
+  std::vector<double> raw_returns = discounted_returns(batch, options_.gamma);
+  observe_returns(raw_returns);
+  const double scale = reward_scale();
+  RolloutBatch scaled = batch;
+  for (Transition& t : scaled.transitions) t.reward /= scale;
+
+  std::vector<double> values(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    values[i] = critic_value(batch.transitions[i].obs);
+  }
+  std::vector<double> adv = gae_advantages(scaled, values, options_.gamma,
+                                           options_.gae_lambda);
+  // Critic regression target: advantage + value (the lambda-return).
+  std::vector<double> targets(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    targets[i] = adv[i] + values[i];
+  }
+  normalize(adv);
+
+  std::vector<double> old_logp(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    old_logp[i] = nn::log_softmax_at(
+        policy_.net().forward(batch.transitions[i].obs),
+        batch.transitions[i].action);
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  const double eps = options_.clip_epsilon;
+  const double ent_coef = next_entropy_coef();
+  double entropy_sum = 0.0;
+  long entropy_count = 0;
+
+  for (int epoch = 0; epoch < options_.ppo_epochs; ++epoch) {
+    policy_.net().zero_grad();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Transition& t = batch.transitions[i];
+      const std::vector<double> logits = policy_.net().forward(t.obs);
+      const std::vector<double> p = nn::softmax(logits);
+      const double logp = nn::log_softmax_at(logits, t.action);
+      const double ratio = std::exp(logp - old_logp[i]);
+      const double h = entropy_of(p);
+      entropy_sum += h;
+      ++entropy_count;
+      // Clipped surrogate: gradient is zero when the clip is active and
+      // moving further would only increase the clipped-away ratio.
+      const bool clipped = (adv[i] > 0 && ratio > 1.0 + eps) ||
+                           (adv[i] < 0 && ratio < 1.0 - eps);
+      std::vector<double> grad(p.size(), 0.0);
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const double onehot = (static_cast<int>(j) == t.action) ? 1.0 : 0.0;
+        double pg = 0.0;
+        if (!clipped) pg = -adv[i] * ratio * (onehot - p[j]);
+        const double eg =
+            ent_coef * p[j] * (std::log(std::max(p[j], 1e-12)) + h);
+        grad[j] = (pg + eg) * inv_n;
+      }
+      policy_.net().backward(grad);
+    }
+    actor_opt_.step(policy_.net().params(), policy_.net().grads());
+
+    critic_.zero_grad();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double v = critic_.forward(batch.transitions[i].obs)[0];
+      critic_.backward({2.0 * (v - targets[i]) * inv_n});
+    }
+    critic_opt_.step(critic_.params(), critic_.grads());
+  }
+
+  stats.mean_entropy =
+      entropy_count > 0 ? entropy_sum / static_cast<double>(entropy_count)
+                        : 0.0;
+  return stats;
+}
+
+}  // namespace rl

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netgym/env.hpp"
+#include "nn/adam.hpp"
+#include "rl/policy.hpp"
+#include "rl/rollout.hpp"
+
+namespace rl {
+
+/// Produces a fresh training environment. Genet's task adapters build one of
+/// these from a configuration distribution: each call samples a config and
+/// instantiates a simulator for it (Appendix A.1's K x N env sampling).
+using EnvFactory =
+    std::function<std::unique_ptr<netgym::Env>(netgym::Rng& rng)>;
+
+/// Hyperparameters shared by the A2C and PPO trainers. Per the paper (S4.1)
+/// these stay fixed across all experiments; only the training environment
+/// distribution changes.
+struct TrainerOptions {
+  std::vector<int> hidden{32, 32};
+  double gamma = 0.95;
+  double actor_lr = 1e-3;
+  double critic_lr = 2e-3;
+  /// Entropy-bonus weight decays linearly from `entropy_coef` to
+  /// `entropy_coef_final` over `entropy_decay_iters` training iterations
+  /// (the schedule Pensieve's A3C uses to avoid premature collapse into a
+  /// constant policy).
+  double entropy_coef = 0.5;
+  double entropy_coef_final = 0.03;
+  int entropy_decay_iters = 1500;
+  int episodes_per_iteration = 8;
+  int max_steps_per_episode = 400;
+  // PPO-only knobs (ignored by A2C):
+  double clip_epsilon = 0.2;
+  int ppo_epochs = 4;
+  double gae_lambda = 0.95;
+};
+
+/// Summary of one training iteration.
+struct IterationStats {
+  double mean_episode_reward = 0.0;
+  double mean_step_reward = 0.0;
+  double mean_entropy = 0.0;
+  int episodes = 0;
+  int steps = 0;
+};
+
+/// Roll the (stochastic) policy through `episodes` fresh environments drawn
+/// from `factory`, returning all transitions in time order.
+RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
+                           netgym::Rng& rng, int episodes,
+                           int max_steps_per_episode);
+
+/// Common machinery of the actor-critic trainers: actor/critic networks,
+/// their optimizers, and a running return scale that keeps gradients
+/// comparable across the three tasks' very different reward magnitudes.
+class ActorCriticBase {
+ public:
+  ActorCriticBase(int obs_size, int action_count, TrainerOptions options,
+                  std::uint64_t seed);
+  virtual ~ActorCriticBase() = default;
+
+  /// Run one training iteration (collect + update) on envs from `factory`.
+  virtual IterationStats train_iteration(const EnvFactory& factory) = 0;
+
+  MlpPolicy& policy() { return policy_; }
+  const MlpPolicy& policy() const { return policy_; }
+  const TrainerOptions& options() const { return options_; }
+
+  std::vector<double> snapshot() const { return policy_.snapshot(); }
+  void restore(const std::vector<double>& params) { policy_.restore(params); }
+
+ protected:
+  /// Scale factor applied to rewards before returns/advantages: the running
+  /// standard deviation of observed episode-discounted returns.
+  double reward_scale() const { return return_norm_.stddev(); }
+  void observe_returns(const std::vector<double>& returns);
+
+  /// Current entropy-bonus weight under the linear decay schedule; also
+  /// advances the iteration counter (call once per train_iteration).
+  double next_entropy_coef();
+
+  double critic_value(const netgym::Observation& obs);
+
+  TrainerOptions options_;
+  netgym::Rng rng_;
+  MlpPolicy policy_;
+  nn::Mlp critic_;
+  nn::Adam actor_opt_;
+  nn::Adam critic_opt_;
+  RunningNorm return_norm_;
+  long iterations_done_ = 0;
+};
+
+/// Advantage actor-critic (the paper's Pensieve/Park codebases use A3C; A2C
+/// is its synchronous, single-worker equivalent).
+class A2CTrainer : public ActorCriticBase {
+ public:
+  using ActorCriticBase::ActorCriticBase;
+  IterationStats train_iteration(const EnvFactory& factory) override;
+};
+
+/// Proximal Policy Optimization with clipped surrogate objective and GAE
+/// (the algorithm used by the paper's Aurora CC codebase).
+class PPOTrainer : public ActorCriticBase {
+ public:
+  using ActorCriticBase::ActorCriticBase;
+  IterationStats train_iteration(const EnvFactory& factory) override;
+};
+
+}  // namespace rl

@@ -1,0 +1,223 @@
+#include "abr/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using abr::AbrEnv;
+using abr::AbrEnvConfig;
+using netgym::Rng;
+using netgym::Trace;
+
+Trace constant_trace(double mbps, double duration_s) {
+  Trace t;
+  for (double s = 0.0; s <= duration_s; s += 1.0) {
+    t.timestamps_s.push_back(s + 1e-4);
+    t.bandwidth_mbps.push_back(mbps);
+  }
+  return t;
+}
+
+AbrEnvConfig small_config() {
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 40.0;
+  cfg.chunk_length_s = 4.0;
+  cfg.max_buffer_s = 20.0;
+  cfg.min_rtt_ms = 80.0;
+  return cfg;
+}
+
+TEST(AbrConfigSpace, MatchesTable3) {
+  for (int which : {1, 2, 3}) {
+    const netgym::ConfigSpace space = abr::abr_config_space(which);
+    EXPECT_EQ(space.dims(), 6u);
+  }
+  // RL1 c RL2 c RL3 nesting.
+  const auto rl1 = abr::abr_config_space(1);
+  const auto rl3 = abr::abr_config_space(3);
+  for (std::size_t d = 0; d < rl1.dims(); ++d) {
+    EXPECT_GE(rl1.param(d).lo, rl3.param(d).lo);
+    EXPECT_LE(rl1.param(d).hi, rl3.param(d).hi);
+  }
+  EXPECT_THROW(abr::abr_config_space(0), std::invalid_argument);
+}
+
+TEST(AbrConfigSpace, PointRoundTrip) {
+  const auto space = abr::abr_config_space(3);
+  Rng rng(1);
+  const netgym::Config point = space.sample(rng);
+  const AbrEnvConfig cfg = abr::abr_config_from_point(point);
+  const netgym::Config back = abr::abr_point_from_config(cfg);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(back.values[i], point.values[i]);
+  }
+  EXPECT_THROW(abr::abr_config_from_point(netgym::Config{{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(AbrEnv, EpisodeCoversWholeVideo) {
+  AbrEnv env(small_config(), constant_trace(5.0, 100.0), 1);
+  env.reset();
+  int steps = 0;
+  bool done = false;
+  while (!done) {
+    const auto result = env.step(0);
+    done = result.done;
+    ++steps;
+  }
+  EXPECT_EQ(steps, env.video().num_chunks());
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(AbrEnv, FastLinkGivesNoRebufferAndFullReward) {
+  // 50 Mbps link, 4.3 Mbps top bitrate: downloads are nearly instant.
+  AbrEnvConfig cfg = small_config();
+  AbrEnv env(cfg, constant_trace(50.0, 100.0), 1);
+  env.reset();
+  double second_reward = 0.0;
+  env.step(abr::kBitrateCount - 1);
+  second_reward = env.step(abr::kBitrateCount - 1).reward;
+  // No rebuffering, no bitrate change: reward == top bitrate in Mbps.
+  EXPECT_NEAR(second_reward, 4.3, 0.01);
+}
+
+TEST(AbrEnv, SlowLinkCausesRebufferPenalty) {
+  // 0.2 Mbps link cannot sustain even the lowest 0.3 Mbps rendition.
+  AbrEnv env(small_config(), constant_trace(0.2, 400.0), 1);
+  env.reset();
+  const double reward = env.step(0).reward;
+  EXPECT_LT(reward, 0.0);  // dominated by the -10/s rebuffer penalty
+}
+
+TEST(AbrEnv, BitrateChangePenaltyApplied) {
+  AbrEnv env(small_config(), constant_trace(50.0, 100.0), 1);
+  env.reset();
+  env.step(0);
+  const double up_reward = env.step(5).reward;
+  // reward = 4.3 - |4.3 - 0.3| = 0.3 (minus negligible rebuffer).
+  EXPECT_NEAR(up_reward, 4.3 - 4.0, 0.02);
+}
+
+TEST(AbrEnv, FirstChunkHasNoChangePenalty) {
+  // Identical transitions except for the `started` flag: the difference must
+  // be exactly the |4.3 - 0.3| switching penalty (started_from last = 0).
+  AbrEnv env(small_config(), constant_trace(50.0, 100.0), 1);
+  env.reset();
+  const auto unstarted =
+      env.chunk_transition(0.0, 10.0, 0, /*started=*/false, 0, 5);
+  const auto started =
+      env.chunk_transition(0.0, 10.0, 0, /*started=*/true, 0, 5);
+  EXPECT_NEAR(unstarted.reward - started.reward, 4.0, 1e-9);
+}
+
+TEST(AbrEnv, BufferIsCappedAtConfiguredMaximum) {
+  AbrEnvConfig cfg = small_config();
+  cfg.max_buffer_s = 8.0;
+  AbrEnv env(cfg, constant_trace(50.0, 100.0), 1);
+  env.reset();
+  for (int i = 0; i < 5; ++i) env.step(0);
+  EXPECT_LE(env.buffer_s(), 8.0 + 1e-9);
+  EXPECT_GT(env.buffer_s(), 7.0);  // should be pinned near the cap
+}
+
+TEST(AbrEnv, ClockAdvancesMonotonically) {
+  AbrEnv env(small_config(), constant_trace(3.0, 100.0), 1);
+  env.reset();
+  double last = env.clock_s();
+  for (int i = 0; i < env.video().num_chunks(); ++i) {
+    env.step(i % abr::kBitrateCount);
+    EXPECT_GT(env.clock_s(), last);
+    last = env.clock_s();
+  }
+}
+
+TEST(AbrEnv, DownloadTimeMatchesBandwidthMath) {
+  AbrEnvConfig cfg = small_config();
+  cfg.min_rtt_ms = 100.0;
+  AbrEnv env(cfg, constant_trace(2.0, 400.0), 1);
+  // 1e6 bits at 2 Mbps = 0.5 s, plus 0.1 s RTT.
+  EXPECT_NEAR(env.download_time_s(1e6, 0.0), 0.6, 0.01);
+}
+
+TEST(AbrEnv, ObservationLayoutIsConsistent) {
+  AbrEnv env(small_config(), constant_trace(5.0, 100.0), 1);
+  netgym::Observation obs = env.reset();
+  ASSERT_EQ(obs.size(), static_cast<std::size_t>(AbrEnv::kObsSize));
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsBuffer], 0.0);
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsRemaining], 1.0);
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsChunkLength], 0.4);
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsMinRtt], 0.08);
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsMaxBuffer], 0.2);
+  // Next-chunk sizes increase along the ladder.
+  for (int b = 1; b < abr::kBitrateCount; ++b) {
+    EXPECT_GT(obs[AbrEnv::kObsNextSizes + b], obs[AbrEnv::kObsNextSizes + b - 1]);
+  }
+
+  const auto result = env.step(2);
+  obs = result.observation;
+  EXPECT_DOUBLE_EQ(obs[AbrEnv::kObsLastBitrate], 2.0 / 5.0);
+  EXPECT_GT(obs[AbrEnv::kObsBuffer], 0.0);
+  // Newest throughput-history slot holds the measured rate (~5 Mbps),
+  // log10(1 + Mbps) encoded.
+  const double newest =
+      std::pow(10.0,
+               obs[AbrEnv::kObsThroughputHist + AbrEnv::kThroughputHistory - 1]) -
+      1.0;
+  EXPECT_NEAR(newest, 5.0, 2.0);
+}
+
+TEST(AbrEnv, ChunkTransitionMatchesStep) {
+  AbrEnvConfig cfg = small_config();
+  AbrEnv env(cfg, constant_trace(3.0, 100.0), 9);
+  env.reset();
+  double clock = 0.0, buffer = 0.0;
+  int last = 0;
+  bool started = false;
+  for (int chunk = 0; chunk < env.video().num_chunks(); ++chunk) {
+    const int action = (chunk * 2) % abr::kBitrateCount;
+    const auto predicted =
+        env.chunk_transition(clock, buffer, last, started, chunk, action);
+    const auto result = env.step(action);
+    EXPECT_NEAR(result.reward, predicted.reward, 1e-9);
+    EXPECT_NEAR(env.clock_s(), predicted.clock_s, 1e-9);
+    EXPECT_NEAR(env.buffer_s(), predicted.buffer_s, 1e-9);
+    clock = predicted.clock_s;
+    buffer = predicted.buffer_s;
+    last = action;
+    started = true;
+    if (result.done) break;
+  }
+}
+
+TEST(AbrEnv, RejectsInvalidConstructionAndActions) {
+  EXPECT_THROW(AbrEnv(small_config(), Trace{}, 1), std::invalid_argument);
+  AbrEnv env(small_config(), constant_trace(5.0, 100.0), 1);
+  env.reset();
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+  EXPECT_THROW(env.step(abr::kBitrateCount), std::invalid_argument);
+}
+
+TEST(MakeAbrEnv, SyntheticEnvRespectsConfig) {
+  AbrEnvConfig cfg;
+  cfg.max_bw_mbps = 10.0;
+  cfg.bw_min_ratio = 0.5;
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    auto env = abr::make_abr_env(cfg, rng);
+    EXPECT_LE(env->trace().max_bandwidth(), 10.0 + 1e-9);
+    EXPECT_GE(env->trace().min_bandwidth(), 5.0 - 1e-9);
+    EXPECT_GE(env->trace().duration_s(), cfg.video_length_s - 2.0);
+  }
+}
+
+TEST(MakeAbrEnv, EnvsFromSameConfigDiffer) {
+  AbrEnvConfig cfg;
+  Rng rng(3);
+  auto a = abr::make_abr_env(cfg, rng);
+  auto b = abr::make_abr_env(cfg, rng);
+  EXPECT_NE(a->trace().bandwidth_mbps, b->trace().bandwidth_mbps);
+}
+
+}  // namespace

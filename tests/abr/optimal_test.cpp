@@ -1,0 +1,87 @@
+#include "abr/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abr/baselines.hpp"
+#include "abr/env.hpp"
+
+namespace {
+
+using abr::AbrEnv;
+using abr::AbrEnvConfig;
+using netgym::Rng;
+
+TEST(OfflineOptimal, ValidatesBeamWidth) {
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 40.0;
+  Rng rng(1);
+  auto env = abr::make_abr_env(cfg, rng);
+  EXPECT_THROW(abr::offline_optimal(*env, 0), std::invalid_argument);
+}
+
+TEST(OfflineOptimal, PlanCoversAllChunks) {
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 60.0;
+  Rng rng(2);
+  auto env = abr::make_abr_env(cfg, rng);
+  const abr::OptimalPlan plan = abr::offline_optimal(*env, 16);
+  EXPECT_EQ(plan.bitrates.size(),
+            static_cast<std::size_t>(env->video().num_chunks()));
+  EXPECT_NEAR(plan.mean_reward,
+              plan.total_reward / env->video().num_chunks(), 1e-9);
+}
+
+TEST(OfflineOptimal, PlanRewardIsAttainableByReplay) {
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 60.0;
+  Rng rng(5);
+  auto env = abr::make_abr_env(cfg, rng);
+  const abr::OptimalPlan plan = abr::offline_optimal(*env, 16);
+  env->reset();
+  double total = 0.0;
+  for (int bitrate : plan.bitrates) total += env->step(bitrate).reward;
+  EXPECT_NEAR(total, plan.total_reward, 1e-6);
+}
+
+/// Property: the offline plan is at least as good as every rule-based and
+/// constant policy, across a sweep of environments.
+class OptimalDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalDominance, BeatsOnlinePolicies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 60.0;
+  cfg.max_bw_mbps = rng.uniform(1.0, 20.0);
+  cfg.bw_change_interval_s = rng.uniform(2.0, 30.0);
+  auto env = abr::make_abr_env(cfg, rng);
+  const double optimal = abr::offline_optimal(*env, 32).total_reward;
+
+  std::vector<std::unique_ptr<netgym::Policy>> rivals;
+  rivals.push_back(std::make_unique<abr::BbaPolicy>());
+  rivals.push_back(std::make_unique<abr::RobustMpcPolicy>());
+  for (int b = 0; b < abr::kBitrateCount; ++b) {
+    rivals.push_back(std::make_unique<abr::ConstantBitratePolicy>(b));
+  }
+  for (auto& rival : rivals) {
+    Rng eval_rng(7);
+    const auto stats = netgym::run_episode(*env, *rival, eval_rng);
+    EXPECT_GE(optimal, stats.total_reward - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, OptimalDominance, ::testing::Range(0, 8));
+
+TEST(OfflineOptimal, WiderBeamNeverHurts) {
+  Rng rng(11);
+  AbrEnvConfig cfg;
+  cfg.video_length_s = 60.0;
+  cfg.max_bw_mbps = 3.0;
+  auto env = abr::make_abr_env(cfg, rng);
+  const double narrow = abr::offline_optimal(*env, 1).total_reward;
+  const double mid = abr::offline_optimal(*env, 8).total_reward;
+  const double wide = abr::offline_optimal(*env, 64).total_reward;
+  EXPECT_GE(mid, narrow - 1e-9);
+  EXPECT_GE(wide, mid - 1e-9);
+}
+
+}  // namespace

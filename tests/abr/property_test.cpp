@@ -1,0 +1,80 @@
+// Property tests for the ABR simulator: invariants that must hold for any
+// configuration in the RL3 space and any action sequence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abr/env.hpp"
+
+namespace {
+
+using abr::AbrEnv;
+using netgym::Rng;
+
+class AbrEnvProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(AbrEnvProperties, InvariantsHoldUnderRandomPlay) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const netgym::ConfigSpace space = abr::abr_config_space(3);
+  const abr::AbrEnvConfig cfg = abr::abr_config_from_point(space.sample(rng));
+  auto env = abr::make_abr_env(cfg, rng);
+
+  netgym::Observation obs = env->reset();
+  double last_clock = 0.0;
+  int steps = 0;
+  bool done = false;
+  while (!done) {
+    for (double v : obs) ASSERT_TRUE(std::isfinite(v));
+    const int action = rng.uniform_int(0, abr::kBitrateCount - 1);
+    const auto result = env->step(action);
+    // Reward is bounded: at best the top bitrate, at worst a capped
+    // download (kMaxDownloadS = 300 s) of rebuffering plus max change.
+    ASSERT_LE(result.reward, 4.3 + 1e-9);
+    ASSERT_GE(result.reward, -10.0 * 301.0);
+    // Buffer stays within [0, capacity]; clock advances.
+    ASSERT_GE(env->buffer_s(), 0.0);
+    ASSERT_LE(env->buffer_s(), cfg.max_buffer_s + 1e-9);
+    ASSERT_GT(env->clock_s(), last_clock);
+    last_clock = env->clock_s();
+    obs = result.observation;
+    done = result.done;
+    ++steps;
+    ASSERT_LE(steps, env->video().num_chunks());
+  }
+  EXPECT_EQ(steps, env->video().num_chunks());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, AbrEnvProperties,
+                         ::testing::Range(0, 20));
+
+class AbrTotalsProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(AbrTotalsProperties, TotalsDecomposeTheReward) {
+  // Sum of per-step rewards == beta*sum(bitrate) + alpha*sum(rebuffer)
+  // + gamma*sum(change), reconstructed from the Totals accumulator.
+  Rng rng(1000 + GetParam());
+  const netgym::ConfigSpace space = abr::abr_config_space(3);
+  const abr::AbrEnvConfig cfg = abr::abr_config_from_point(space.sample(rng));
+  auto env = abr::make_abr_env(cfg, rng);
+  env->reset();
+  double total_reward = 0.0;
+  bool done = false;
+  while (!done) {
+    const auto result = env->step(rng.uniform_int(0, abr::kBitrateCount - 1));
+    total_reward += result.reward;
+    done = result.done;
+  }
+  const auto& totals = env->totals();
+  const double reconstructed = totals.bitrate_mbps_sum -
+                               10.0 * totals.rebuffer_s_sum -
+                               totals.change_mbps_sum;
+  EXPECT_NEAR(total_reward, reconstructed,
+              1e-6 * std::max(1.0, std::abs(total_reward)));
+  EXPECT_EQ(totals.chunks, env->video().num_chunks());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, AbrTotalsProperties,
+                         ::testing::Range(0, 10));
+
+}  // namespace

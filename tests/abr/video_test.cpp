@@ -1,0 +1,70 @@
+#include "abr/video.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using abr::Video;
+
+TEST(Bitrates, LadderIsStrictlyIncreasing) {
+  for (int i = 1; i < abr::kBitrateCount; ++i) {
+    EXPECT_GT(abr::bitrate_kbps(i), abr::bitrate_kbps(i - 1));
+  }
+  EXPECT_DOUBLE_EQ(abr::bitrate_mbps(0), 0.3);
+  EXPECT_THROW(abr::bitrate_kbps(-1), std::out_of_range);
+  EXPECT_THROW(abr::bitrate_kbps(abr::kBitrateCount), std::out_of_range);
+}
+
+TEST(Video, ChunkCountCeils) {
+  EXPECT_EQ(Video(10.0, 4.0, 1).num_chunks(), 3);
+  EXPECT_EQ(Video(12.0, 4.0, 1).num_chunks(), 3);
+  EXPECT_EQ(Video(12.1, 4.0, 1).num_chunks(), 4);
+}
+
+TEST(Video, ValidatesConstruction) {
+  EXPECT_THROW(Video(0.0, 4.0, 1), std::invalid_argument);
+  EXPECT_THROW(Video(10.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Video, SizesScaleWithBitrateAndStayNearNominal) {
+  const Video video(100.0, 4.0, 42);
+  for (int c = 0; c < video.num_chunks(); ++c) {
+    for (int b = 0; b < abr::kBitrateCount; ++b) {
+      const double nominal = abr::kBitratesKbps[b] * 1000.0 * 4.0;
+      const double actual = video.chunk_size_bits(c, b);
+      EXPECT_GE(actual, nominal * 0.9 - 1e-6);
+      EXPECT_LE(actual, nominal * 1.1 + 1e-6);
+      if (b > 0) {
+        EXPECT_GT(actual, video.chunk_size_bits(c, b - 1));
+      }
+    }
+  }
+}
+
+TEST(Video, PerChunkNoiseIsSharedAcrossLadder) {
+  // Encoder noise perturbs the chunk, not each rendition independently:
+  // the size ratio between renditions must equal the bitrate ratio.
+  const Video video(40.0, 2.0, 7);
+  for (int c = 0; c < video.num_chunks(); ++c) {
+    const double ratio =
+        video.chunk_size_bits(c, 3) / video.chunk_size_bits(c, 1);
+    EXPECT_NEAR(ratio, abr::kBitratesKbps[3] / abr::kBitratesKbps[1], 1e-9);
+  }
+}
+
+TEST(Video, DeterministicGivenSeed) {
+  const Video a(60.0, 4.0, 5);
+  const Video b(60.0, 4.0, 5);
+  const Video c(60.0, 4.0, 6);
+  EXPECT_EQ(a.chunk_size_bits(3, 2), b.chunk_size_bits(3, 2));
+  EXPECT_NE(a.chunk_size_bits(3, 2), c.chunk_size_bits(3, 2));
+}
+
+TEST(Video, BoundsChecked) {
+  const Video video(20.0, 4.0, 1);
+  EXPECT_THROW(video.chunk_size_bits(-1, 0), std::out_of_range);
+  EXPECT_THROW(video.chunk_size_bits(99, 0), std::out_of_range);
+  EXPECT_THROW(video.chunk_size_bits(0, 99), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "bo/gp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netgym/rng.hpp"
+
+namespace {
+
+using bo::GaussianProcess;
+
+TEST(GaussianProcess, ValidatesOptionsAndInput) {
+  GaussianProcess::Options bad;
+  bad.length_scale = 0.0;
+  EXPECT_THROW(GaussianProcess{bad}, std::invalid_argument);
+  GaussianProcess gp;
+  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{0.1}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{0.1}, {0.2, 0.3}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(GaussianProcess, PriorBeforeFit) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.fitted());
+  const auto p = gp.predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPoints) {
+  GaussianProcess::Options opts;
+  opts.noise_variance = 1e-6;
+  GaussianProcess gp(opts);
+  const std::vector<std::vector<double>> xs{{0.1}, {0.5}, {0.9}};
+  const std::vector<double> ys{1.0, -2.0, 3.0};
+  gp.fit(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto p = gp.predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 0.05);
+    EXPECT_LT(p.variance, 0.05);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  gp.fit({{0.5, 0.5}}, {1.0});
+  const double near = gp.predict({0.5, 0.5}).variance;
+  const double far = gp.predict({0.0, 1.0}).variance;
+  EXPECT_GT(far, near * 5);
+}
+
+TEST(GaussianProcess, SmoothFunctionIsWellApproximated) {
+  // Fit y = sin(2 pi x) on a grid; prediction error off-grid must be small.
+  GaussianProcess::Options opts;
+  opts.length_scale = 0.15;
+  opts.noise_variance = 1e-6;
+  GaussianProcess gp(opts);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i / 10.0;
+    xs.push_back({x});
+    ys.push_back(std::sin(2 * M_PI * x));
+  }
+  gp.fit(xs, ys);
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(gp.predict({x}).mean, std::sin(2 * M_PI * x), 0.1) << x;
+  }
+}
+
+TEST(GaussianProcess, RefitReplacesData) {
+  GaussianProcess gp;
+  gp.fit({{0.2}}, {5.0});
+  gp.fit({{0.2}}, {-5.0});
+  EXPECT_LT(gp.predict({0.2}).mean, 0.0);
+}
+
+TEST(GaussianProcess, HandlesConstantTargets) {
+  GaussianProcess gp;
+  gp.fit({{0.1}, {0.9}}, {2.0, 2.0});
+  EXPECT_NEAR(gp.predict({0.5}).mean, 2.0, 0.5);
+}
+
+TEST(GaussianProcess, HandlesDuplicatePoints) {
+  // Duplicate inputs with different targets: the noise term must keep the
+  // Cholesky factorization stable.
+  GaussianProcess gp;
+  gp.fit({{0.3}, {0.3}, {0.3}}, {1.0, 2.0, 3.0});
+  const auto p = gp.predict({0.3});
+  EXPECT_NEAR(p.mean, 2.0, 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include "bo/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using bo::BayesianOptimizer;
+using bo::GridSearch;
+using bo::RandomSearch;
+
+/// Smooth 2-D test function with maximum 1.0 at (0.3, 0.7).
+double hump(const std::vector<double>& x) {
+  const double dx = x[0] - 0.3;
+  const double dy = x[1] - 0.7;
+  return std::exp(-8.0 * (dx * dx + dy * dy));
+}
+
+double run_maximizer(bo::Maximizer& maximizer, int budget) {
+  for (int i = 0; i < budget; ++i) {
+    const auto x = maximizer.propose();
+    maximizer.update(x, hump(x));
+  }
+  return maximizer.best_value();
+}
+
+TEST(BayesianOptimizer, ValidatesDims) {
+  EXPECT_THROW(BayesianOptimizer(0, 1), std::invalid_argument);
+}
+
+TEST(BayesianOptimizer, ProposalsStayInUnitCube) {
+  BayesianOptimizer opt(3, 42);
+  for (int i = 0; i < 10; ++i) {
+    const auto x = opt.propose();
+    ASSERT_EQ(x.size(), 3u);
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    opt.update(x, hump({x[0], x[1]}));
+  }
+}
+
+TEST(BayesianOptimizer, TracksBestObservation) {
+  BayesianOptimizer opt(2, 1);
+  opt.update({0.1, 0.1}, 0.5);
+  opt.update({0.2, 0.2}, 0.9);
+  opt.update({0.3, 0.3}, 0.2);
+  EXPECT_DOUBLE_EQ(opt.best_value(), 0.9);
+  EXPECT_EQ(opt.best_point(), (std::vector<double>{0.2, 0.2}));
+  EXPECT_EQ(opt.num_evaluations(), 3);
+}
+
+TEST(BayesianOptimizer, FindsTheHumpWithinFifteenTrials) {
+  // The paper runs 15 BO trials per round (S4.2); on this smooth function
+  // BO should land close to the optimum within that budget.
+  double total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    BayesianOptimizer opt(2, seed);
+    total += run_maximizer(opt, 15);
+  }
+  EXPECT_GT(total / 5, 0.85);
+}
+
+TEST(BayesianOptimizer, BeatsRandomSearchAtEqualBudget) {
+  // Fig. 20's headline claim, on the synthetic hump: average best-found
+  // value after 15 evaluations is higher for BO than for random search.
+  double bo_total = 0.0, random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    BayesianOptimizer opt(2, seed);
+    bo_total += run_maximizer(opt, 15);
+    RandomSearch rs(2, seed);
+    random_total += run_maximizer(rs, 15);
+  }
+  EXPECT_GT(bo_total, random_total);
+}
+
+TEST(BayesianOptimizer, UcbAcquisitionAlsoFindsTheHump) {
+  BayesianOptimizer::Options options;
+  options.acquisition = BayesianOptimizer::Acquisition::kUpperConfidenceBound;
+  double total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    BayesianOptimizer opt(2, seed, options);
+    total += run_maximizer(opt, 15);
+  }
+  EXPECT_GT(total / 5, 0.8);
+}
+
+TEST(RandomSearch, UniformCoverage) {
+  RandomSearch rs(1, 7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto x = rs.propose();
+    lo = std::min(lo, x[0]);
+    hi = std::max(hi, x[0]);
+    rs.update(x, 0.0);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(GridSearch, ValidatesArguments) {
+  EXPECT_THROW(GridSearch(0, 5), std::invalid_argument);
+  EXPECT_THROW(GridSearch(2, 1), std::invalid_argument);
+}
+
+TEST(GridSearch, StartsAtMidpointAndSweepsFirstDimension) {
+  GridSearch grid(2, 5);
+  const auto first = grid.propose();
+  EXPECT_DOUBLE_EQ(first[0], 0.0);   // first grid point of dim 0
+  EXPECT_DOUBLE_EQ(first[1], 0.5);   // other dims at midpoint
+  grid.update(first, 0.1);
+  const auto second = grid.propose();
+  EXPECT_DOUBLE_EQ(second[0], 0.25);
+  EXPECT_DOUBLE_EQ(second[1], 0.5);
+}
+
+TEST(GridSearch, FixesBestCoordinateBeforeNextDimension) {
+  GridSearch grid(2, 3);  // grid {0, 0.5, 1}
+  // Dim 0 sweep: values 0->0.2, 0.5->0.9, 1->0.1. Best is x0=0.5.
+  grid.update(grid.propose(), 0.2);
+  grid.update(grid.propose(), 0.9);
+  grid.update(grid.propose(), 0.1);
+  const auto next = grid.propose();  // now sweeping dim 1
+  EXPECT_DOUBLE_EQ(next[0], 0.5);
+  EXPECT_DOUBLE_EQ(next[1], 0.0);
+}
+
+TEST(GridSearch, EventuallyFindsGoodValueOnSeparableFunction) {
+  GridSearch grid(2, 10);
+  const double best = run_maximizer(grid, 20);  // two full dimension sweeps
+  EXPECT_GT(best, 0.8);
+}
+
+}  // namespace

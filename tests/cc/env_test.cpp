@@ -1,0 +1,202 @@
+#include "cc/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using cc::CcEnv;
+using cc::CcEnvConfig;
+using netgym::Rng;
+using netgym::Trace;
+
+Trace constant_trace(double mbps, double duration_s) {
+  Trace t;
+  for (double s = 0.0; s <= duration_s + 0.1; s += 0.1) {
+    t.timestamps_s.push_back(s + 1e-4);
+    t.bandwidth_mbps.push_back(mbps);
+  }
+  return t;
+}
+
+constexpr int kHold = 4;  // action index with factor 1.0
+
+CcEnvConfig basic_config() {
+  CcEnvConfig cfg;
+  cfg.max_bw_mbps = 3.0;
+  cfg.min_rtt_ms = 100.0;
+  cfg.queue_packets = 20.0;
+  cfg.duration_s = 10.0;
+  return cfg;
+}
+
+TEST(CcConfigSpace, MatchesTable4) {
+  for (int which : {1, 2, 3}) {
+    EXPECT_EQ(cc::cc_config_space(which).dims(), 5u);
+  }
+  const auto rl1 = cc::cc_config_space(1);
+  const auto rl3 = cc::cc_config_space(3);
+  for (std::size_t d = 0; d < rl1.dims(); ++d) {
+    EXPECT_GE(rl1.param(d).lo, rl3.param(d).lo);
+    EXPECT_LE(rl1.param(d).hi, rl3.param(d).hi);
+  }
+  EXPECT_THROW(cc::cc_config_space(4), std::invalid_argument);
+}
+
+TEST(CcConfigSpace, PointRoundTrip) {
+  Rng rng(1);
+  const auto space = cc::cc_config_space(3);
+  const netgym::Config point = space.sample(rng);
+  const netgym::Config back =
+      cc::cc_point_from_config(cc::cc_config_from_point(point));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(back.values[i], point.values[i]);
+  }
+}
+
+TEST(CcEnv, RateFactorsAreSortedAroundHold) {
+  EXPECT_DOUBLE_EQ(cc::kRateFactors[kHold], 1.0);
+  for (int i = 1; i < cc::kRateActionCount; ++i) {
+    EXPECT_GT(cc::kRateFactors[i], cc::kRateFactors[i - 1]);
+  }
+}
+
+TEST(CcEnv, EpisodeEndsAtConfiguredDuration) {
+  CcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 10000) {
+    done = env.step(kHold).done;
+    ++steps;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GE(env.clock_s(), 10.0);
+  EXPECT_THROW(env.step(kHold), std::logic_error);
+}
+
+TEST(CcEnv, DeliveredNeverExceedsSent) {
+  CcEnv env(basic_config(), constant_trace(2.0, 30.0), 2);
+  env.reset();
+  Rng rng(3);
+  bool done = false;
+  while (!done) {
+    done = env.step(rng.uniform_int(0, cc::kRateActionCount - 1)).done;
+  }
+  const CcEnv::Totals& totals = env.totals();
+  EXPECT_GT(totals.sent_pkts, 0.0);
+  EXPECT_LE(totals.delivered_pkts, totals.sent_pkts + 1e-6);
+  EXPECT_NEAR(totals.delivered_pkts + totals.lost_pkts, totals.sent_pkts,
+              totals.sent_pkts * 0.2 + env.config().queue_packets + 1.0);
+}
+
+TEST(CcEnv, OverdrivingTheLinkCausesLossAndLatency) {
+  CcEnvConfig cfg = basic_config();
+  cfg.max_bw_mbps = 1.0;
+  CcEnv env(cfg, constant_trace(1.0, 30.0), 1);
+  netgym::Observation obs = env.reset();
+  // Ramp the rate up hard: +50% every MI for 20 MIs (~57x).
+  for (int i = 0; i < 20; ++i) obs = env.step(8).observation;
+  const int base = CcEnv::kObsNewestMi;
+  EXPECT_GT(obs[base + 3], 0.3);  // heavy loss
+  EXPECT_GT(obs[base + 0], 0.5);  // latency well above propagation
+}
+
+TEST(CcEnv, ModestRateKeepsLatencyNearPropagation) {
+  CcEnvConfig cfg = basic_config();
+  cfg.max_bw_mbps = 10.0;
+  CcEnv env(cfg, constant_trace(10.0, 30.0), 1);
+  netgym::Observation obs = env.reset();
+  // The starting rate (~1 Mbps) is far below 10 Mbps capacity.
+  for (int i = 0; i < 10; ++i) obs = env.step(kHold).observation;
+  const int base = CcEnv::kObsNewestMi;
+  EXPECT_LT(obs[base + 0], 0.1);   // latency ratio ~1
+  EXPECT_LT(obs[base + 3], 0.01);  // no loss
+}
+
+TEST(CcEnv, RandomLossRateIsReflectedInStats) {
+  CcEnvConfig cfg = basic_config();
+  cfg.loss_rate = 0.04;
+  cfg.max_bw_mbps = 50.0;  // no congestion loss
+  CcEnv env(cfg, constant_trace(50.0, 30.0), 3);
+  env.reset();
+  bool done = false;
+  while (!done) done = env.step(kHold).done;
+  EXPECT_NEAR(env.totals().loss_fraction(), 0.04, 0.01);
+}
+
+TEST(CcEnv, RewardMatchesTable1Formula) {
+  CcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  const auto result = env.step(kHold);
+  const int base = CcEnv::kObsNewestMi;
+  const double thr_mbps = std::pow(10.0, result.observation[base + 4]) - 1.0;
+  const double lat_s =
+      (result.observation[base + 0] + 1.0) * env.config().min_rtt_ms / 1000.0;
+  const double loss = result.observation[base + 3];
+  // Latency term uses one-way delay (RTT / 2); see CcRewardWeights.
+  EXPECT_NEAR(result.reward,
+              120.0 * thr_mbps - 1000.0 * lat_s / 2.0 - 2000.0 * loss, 1.0);
+}
+
+TEST(CcEnv, ActionScalesRateMultiplicatively) {
+  CcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  const double r0 = env.rate_pkts_per_s();
+  env.step(8);  // x1.5
+  EXPECT_NEAR(env.rate_pkts_per_s(), r0 * 1.5, 1e-9);
+  env.step(0);  // x0.5
+  EXPECT_NEAR(env.rate_pkts_per_s(), r0 * 0.75, 1e-9);
+}
+
+TEST(CcEnv, ValidatesConstructionAndActions) {
+  EXPECT_THROW(CcEnv(basic_config(), Trace{}, 1), std::invalid_argument);
+  CcEnvConfig bad = basic_config();
+  bad.loss_rate = 1.5;
+  EXPECT_THROW(CcEnv(bad, constant_trace(1.0, 30.0), 1),
+               std::invalid_argument);
+  CcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+  EXPECT_THROW(env.step(cc::kRateActionCount), std::invalid_argument);
+}
+
+TEST(CcEnv, DeterministicGivenSeed) {
+  CcEnv a(basic_config(), constant_trace(3.0, 30.0), 7);
+  CcEnv b(basic_config(), constant_trace(3.0, 30.0), 7);
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 20; ++i) {
+    const auto ra = a.step(i % cc::kRateActionCount);
+    const auto rb = b.step(i % cc::kRateActionCount);
+    EXPECT_EQ(ra.reward, rb.reward);
+    EXPECT_EQ(ra.observation, rb.observation);
+  }
+}
+
+TEST(MakeCcEnv, SyntheticTraceRespectsConfig) {
+  CcEnvConfig cfg = basic_config();
+  cfg.max_bw_mbps = 8.0;
+  Rng rng(5);
+  auto env = cc::make_cc_env(cfg, rng);
+  EXPECT_LE(env->trace().max_bandwidth(), 8.0 + 1e-9);
+  EXPECT_GE(env->trace().duration_s(), cfg.duration_s - 0.2);
+}
+
+TEST(CcEnv, MiLatencyLogMatchesTotals) {
+  CcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  bool done = false;
+  int steps = 0;
+  while (!done) {
+    done = env.step(kHold).done;
+    ++steps;
+  }
+  EXPECT_EQ(env.totals().mi_latencies_s.size(),
+            static_cast<std::size_t>(steps));
+  EXPECT_GT(env.totals().mean_latency_s(),
+            env.config().min_rtt_ms / 1000.0 - 1e-9);
+}
+
+}  // namespace

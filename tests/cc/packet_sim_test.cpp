@@ -1,0 +1,216 @@
+// Tests for the per-packet CC backend, including cross-validation against
+// the fluid backend on identical scenarios.
+
+#include "cc/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/baselines.hpp"
+
+namespace {
+
+using cc::CcEnv;
+using cc::CcEnvConfig;
+using cc::PacketCcEnv;
+using netgym::Rng;
+using netgym::Trace;
+
+constexpr int kHold = 4;
+
+Trace constant_trace(double mbps, double duration_s) {
+  Trace t;
+  for (double s = 0.0; s <= duration_s + 0.1; s += 0.1) {
+    t.timestamps_s.push_back(s + 1e-4);
+    t.bandwidth_mbps.push_back(mbps);
+  }
+  return t;
+}
+
+CcEnvConfig basic_config(double bw = 3.0) {
+  CcEnvConfig cfg;
+  cfg.max_bw_mbps = bw;
+  cfg.min_rtt_ms = 100.0;
+  cfg.queue_packets = 20.0;
+  cfg.duration_s = 20.0;
+  return cfg;
+}
+
+TEST(PacketCcEnv, SharesInterfaceWithFluidBackend) {
+  PacketCcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  EXPECT_EQ(env.action_count(), cc::kRateActionCount);
+  EXPECT_EQ(env.observation_size(), static_cast<std::size_t>(CcEnv::kObsSize));
+  const auto obs = env.reset();
+  EXPECT_EQ(obs.size(), static_cast<std::size_t>(CcEnv::kObsSize));
+}
+
+TEST(PacketCcEnv, ValidatesConstructionAndActions) {
+  EXPECT_THROW(PacketCcEnv(basic_config(), Trace{}, 1),
+               std::invalid_argument);
+  PacketCcEnv env(basic_config(), constant_trace(3.0, 30.0), 1);
+  env.reset();
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+  EXPECT_THROW(env.step(cc::kRateActionCount), std::invalid_argument);
+}
+
+TEST(PacketCcEnv, ConservationAndTermination) {
+  PacketCcEnv env(basic_config(), constant_trace(3.0, 30.0), 2);
+  env.reset();
+  Rng rng(3);
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 5000) {
+    done = env.step(rng.uniform_int(0, cc::kRateActionCount - 1)).done;
+    ++steps;
+  }
+  ASSERT_TRUE(done);
+  const auto& totals = env.totals();
+  EXPECT_GT(totals.sent_pkts, 0.0);
+  EXPECT_LE(totals.delivered_pkts, totals.sent_pkts + 1e-6);
+  // Per-packet accounting is exact: sent = delivered + lost + still queued.
+  EXPECT_NEAR(totals.delivered_pkts + totals.lost_pkts, totals.sent_pkts,
+              env.config().queue_packets + 1.0);
+}
+
+TEST(PacketCcEnv, RandomLossMatchesConfiguredRate) {
+  CcEnvConfig cfg = basic_config(50.0);
+  cfg.loss_rate = 0.05;
+  PacketCcEnv env(cfg, constant_trace(50.0, 30.0), 3);
+  env.reset();
+  bool done = false;
+  while (!done) done = env.step(kHold).done;
+  EXPECT_NEAR(env.totals().loss_fraction(), 0.05, 0.02);
+}
+
+TEST(PacketCcEnv, OverdrivingCausesQueueingAndDrops) {
+  CcEnvConfig cfg = basic_config(1.0);
+  PacketCcEnv env(cfg, constant_trace(1.0, 30.0), 1);
+  netgym::Observation obs = env.reset();
+  for (int i = 0; i < 20; ++i) obs = env.step(8).observation;  // x1.5 per MI
+  const int base = CcEnv::kObsNewestMi;
+  EXPECT_GT(obs[base + 3], 0.3);  // drops
+  EXPECT_GT(obs[base + 0], 0.5);  // latency inflation
+}
+
+/// Cross-validation: fluid and packet backends must agree on aggregate
+/// behaviour for the same scenario and policy (within discretization slack).
+class BackendAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(BackendAgreement, OracleThroughputMatchesAcrossBackends) {
+  const double bw = GetParam();
+  const CcEnvConfig cfg = basic_config(bw);
+  const Trace trace = constant_trace(bw, 30.0);
+
+  CcEnv fluid(cfg, trace, 1);
+  cc::OraclePolicy fluid_oracle(fluid);
+  Rng r1(1);
+  netgym::run_episode(fluid, fluid_oracle, r1);
+  const double fluid_thpt =
+      fluid.totals().mean_throughput_mbps(cfg.duration_s);
+
+  PacketCcEnv packet(cfg, trace, 1);
+  // The oracle reads the trace via the env reference; reuse the fluid env's
+  // trace through a fresh oracle bound to a fluid env on the same trace is
+  // not possible here, so drive the packet env with a fixed near-capacity
+  // rate instead: hold after ramping to ~bw.
+  Rng r2(1);
+  netgym::Observation obs = packet.reset();
+  bool done = false;
+  const double target = bw * 1e6 / CcEnv::kPacketBits;
+  while (!done) {
+    // Steer toward the capacity rate like the oracle controller would.
+    const double current = packet.rate_pkts_per_s();
+    int best = kHold;
+    double best_dist = 1e18;
+    for (int a = 0; a < cc::kRateActionCount; ++a) {
+      const double next = current * cc::kRateFactors[a];
+      const double dist = std::abs(std::log(next / target));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = a;
+      }
+    }
+    const auto result = packet.step(best);
+    obs = result.observation;
+    done = result.done;
+  }
+  const double packet_thpt =
+      packet.totals().mean_throughput_mbps(cfg.duration_s);
+
+  EXPECT_NEAR(packet_thpt, fluid_thpt, 0.2 * bw)
+      << "fluid " << fluid_thpt << " vs packet " << packet_thpt;
+  // Both backends should achieve solid utilization.
+  EXPECT_GT(packet_thpt / bw, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, BackendAgreement,
+                         ::testing::Values(1.0, 3.0, 10.0, 30.0));
+
+TEST(BackendAgreement, LatencyFloorsMatch) {
+  const CcEnvConfig cfg = basic_config(10.0);
+  const Trace trace = constant_trace(10.0, 20.0);
+  CcEnv fluid(cfg, trace, 1);
+  PacketCcEnv packet(cfg, trace, 1);
+  fluid.reset();
+  packet.reset();
+  bool done = false;
+  while (!done) done = fluid.step(kHold).done;  // low rate: empty queues
+  done = false;
+  while (!done) done = packet.step(kHold).done;
+  EXPECT_NEAR(fluid.totals().mean_latency_s(),
+              packet.totals().mean_latency_s(), 0.02);
+}
+
+TEST(PacketCcEnv, RuleBasedControllersRunOnPacketBackend) {
+  // Same Policy objects drive either backend.
+  for (const char* name : {"cubic", "bbr", "vivace", "copa"}) {
+    CcEnvConfig cfg = basic_config(10.0);
+    PacketCcEnv env(cfg, constant_trace(10.0, 20.0), 4);
+    std::unique_ptr<netgym::Policy> policy;
+    const std::string n = name;
+    if (n == "cubic") policy = std::make_unique<cc::CubicPolicy>();
+    if (n == "bbr") policy = std::make_unique<cc::BbrPolicy>();
+    if (n == "vivace") policy = std::make_unique<cc::VivacePolicy>();
+    if (n == "copa") policy = std::make_unique<cc::CopaPolicy>();
+    Rng rng(2);
+    const auto stats = netgym::run_episode(env, *policy, rng);
+    EXPECT_GT(stats.steps, 5) << name;
+    const double util =
+        env.totals().mean_throughput_mbps(cfg.duration_s) / 10.0;
+    EXPECT_GT(util, 0.4) << name;
+    EXPECT_LT(util, 1.05) << name;
+  }
+}
+
+TEST(PacketCcEnv, DeterministicGivenSeed) {
+  PacketCcEnv a(basic_config(), constant_trace(3.0, 30.0), 7);
+  PacketCcEnv b(basic_config(), constant_trace(3.0, 30.0), 7);
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 20; ++i) {
+    const auto ra = a.step(i % cc::kRateActionCount);
+    const auto rb = b.step(i % cc::kRateActionCount);
+    ASSERT_EQ(ra.reward, rb.reward);
+    ASSERT_EQ(ra.observation, rb.observation);
+  }
+}
+
+TEST(PacketCcEnv, QueueBoundIsRespected) {
+  // With a 5-packet queue and a grossly overdriven link, per-packet
+  // accounting must never hold more than 5 packets in flight in the queue:
+  // losses absorb the rest, so delivered <= capacity * time + queue.
+  CcEnvConfig cfg = basic_config(1.0);
+  cfg.queue_packets = 5.0;
+  PacketCcEnv env(cfg, constant_trace(1.0, 30.0), 2);
+  env.reset();
+  bool done = false;
+  while (!done) done = env.step(8).done;  // ramp x1.5 every MI
+  // The final monitor interval may overshoot duration_s; bound by the
+  // actually elapsed clock.
+  const double capacity_pkts =
+      1.0 * 1e6 / CcEnv::kPacketBits * env.clock_s();
+  EXPECT_LE(env.totals().delivered_pkts, capacity_pkts + cfg.queue_packets + 2);
+}
+
+}  // namespace

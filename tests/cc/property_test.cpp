@@ -1,0 +1,71 @@
+// Property tests for the CC simulator over random RL3 configurations and
+// random action sequences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/env.hpp"
+
+namespace {
+
+using cc::CcEnv;
+using netgym::Rng;
+
+class CcEnvProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(CcEnvProperties, InvariantsHoldUnderRandomPlay) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const netgym::ConfigSpace space = cc::cc_config_space(3);
+  cc::CcEnvConfig cfg = cc::cc_config_from_point(space.sample(rng));
+  cfg.duration_s = 10.0;  // keep the property sweep fast
+  auto env = cc::make_cc_env(cfg, rng);
+
+  netgym::Observation obs = env->reset();
+  bool done = false;
+  int steps = 0;
+  while (!done && steps < 5000) {
+    for (double v : obs) ASSERT_TRUE(std::isfinite(v));
+    const auto result =
+        env->step(rng.uniform_int(0, cc::kRateActionCount - 1));
+    ASSERT_TRUE(std::isfinite(result.reward));
+    obs = result.observation;
+    done = result.done;
+    ++steps;
+  }
+  ASSERT_TRUE(done) << "episode did not terminate";
+
+  const CcEnv::Totals& totals = env->totals();
+  // Conservation: delivered <= sent; delivered + lost <= sent + queue slack.
+  EXPECT_LE(totals.delivered_pkts, totals.sent_pkts + 1e-6);
+  EXPECT_GE(totals.lost_pkts, -1e-9);
+  EXPECT_LE(totals.delivered_pkts + totals.lost_pkts,
+            totals.sent_pkts + cfg.queue_packets + 1.0);
+  // Loss fraction in [0, 1]; latency at least the propagation delay.
+  EXPECT_GE(totals.loss_fraction(), 0.0);
+  EXPECT_LE(totals.loss_fraction(), 1.0);
+  if (totals.delivered_pkts > 0) {
+    EXPECT_GE(totals.mean_latency_s(), cfg.min_rtt_ms / 1000.0 - 1e-9);
+  }
+  // Throughput cannot exceed the trace's maximum bandwidth.
+  EXPECT_LE(totals.mean_throughput_mbps(cfg.duration_s),
+            env->trace().max_bandwidth() * 1.05 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, CcEnvProperties,
+                         ::testing::Range(0, 20));
+
+TEST(CcEnvProperty, RateIsClampedAtBothEnds) {
+  cc::CcEnvConfig cfg;
+  cfg.duration_s = 60.0;
+  netgym::Rng rng(3);
+  auto env = cc::make_cc_env(cfg, rng);
+  env->reset();
+  // Slam the rate downward for many MIs: it must stay positive.
+  for (int i = 0; i < 40; ++i) {
+    if (env->step(0).done) break;
+  }
+  EXPECT_GT(env->rate_pkts_per_s(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Cross-space compatibility invariants the experiment harnesses rely on: a
+// policy trained on the RL1 ranges must be loadable and runnable on RL3
+// environments of the same task (same observation/action shapes), and
+// models snapshot/restore across trainer instances.
+
+#include <gtest/gtest.h>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+
+namespace {
+
+template <typename Adapter>
+void expect_spaces_share_shapes() {
+  Adapter a1(1), a2(2), a3(3);
+  EXPECT_EQ(a1.obs_size(), a3.obs_size());
+  EXPECT_EQ(a2.obs_size(), a3.obs_size());
+  EXPECT_EQ(a1.action_count(), a3.action_count());
+  EXPECT_EQ(a2.action_count(), a3.action_count());
+}
+
+TEST(CrossSpace, AbrShapesMatch) {
+  expect_spaces_share_shapes<genet::AbrAdapter>();
+}
+TEST(CrossSpace, CcShapesMatch) {
+  expect_spaces_share_shapes<genet::CcAdapter>();
+}
+TEST(CrossSpace, LbShapesMatch) {
+  expect_spaces_share_shapes<genet::LbAdapter>();
+}
+
+TEST(CrossSpace, Rl1PolicyRunsOnRl3Environments) {
+  genet::LbAdapter narrow(1);
+  genet::LbAdapter wide(3);
+  auto trainer = genet::train_traditional(narrow, 5, 1);
+  trainer->policy().set_greedy(true);
+  netgym::ConfigDistribution target(wide.space());
+  netgym::Rng rng(3);
+  // Must evaluate without shape errors and return a finite reward.
+  const double reward =
+      genet::test_on_distribution(wide, trainer->policy(), target, 5, rng);
+  EXPECT_TRUE(std::isfinite(reward));
+}
+
+TEST(CrossSpace, SnapshotTransfersBetweenTrainerInstances) {
+  genet::CcAdapter adapter(1);
+  auto a = adapter.make_trainer(7);
+  auto b = adapter.make_trainer(8);  // different init
+  a->train_iteration(adapter.factory_for(adapter.space().midpoint()));
+  b->restore(a->snapshot());
+  EXPECT_EQ(a->snapshot(), b->snapshot());
+  // Both policies produce identical greedy decisions afterwards.
+  a->policy().set_greedy(true);
+  b->policy().set_greedy(true);
+  netgym::Rng env_rng(4);
+  auto env = adapter.make_env(adapter.space().midpoint(), env_rng);
+  const netgym::Observation obs = env->reset();
+  netgym::Rng act_rng(1);
+  EXPECT_EQ(a->policy().act(obs, act_rng), b->policy().act(obs, act_rng));
+}
+
+TEST(CrossSpace, TrainingIsDeterministicAcrossProcessesInSpirit) {
+  // Same seed, fresh adapter objects: byte-identical snapshots. This is the
+  // property the ModelZoo's cold-cache reproducibility rests on.
+  genet::LbAdapter adapter_a(1), adapter_b(1);
+  const auto pa = genet::train_traditional(adapter_a, 10, 42)->snapshot();
+  const auto pb = genet::train_traditional(adapter_b, 10, 42)->snapshot();
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(CrossSpace, GenetCurriculumIsDeterministicGivenSeed) {
+  genet::SearchOptions search;
+  search.bo_trials = 3;
+  search.envs_per_eval = 2;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 3;
+  options.seed = 9;
+  auto run_once = [&] {
+    genet::LbAdapter adapter(1);
+    genet::CurriculumTrainer trainer(
+        adapter, std::make_unique<genet::GenetScheme>("llf", search),
+        options);
+    trainer.run();
+    return trainer.trainer().snapshot();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+#include "genet/curriculum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using genet::CurriculumOptions;
+using genet::CurriculumTrainer;
+using genet::LbAdapter;
+using genet::SearchOptions;
+using netgym::Rng;
+
+SearchOptions tiny_search() {
+  SearchOptions options;
+  options.bo_trials = 4;
+  options.envs_per_eval = 2;
+  return options;
+}
+
+CurriculumOptions tiny_curriculum(int rounds = 2) {
+  CurriculumOptions options;
+  options.rounds = rounds;
+  options.iters_per_round = 2;
+  options.seed = 11;
+  return options;
+}
+
+LbAdapter small_lb() { return LbAdapter(1); }  // fast episodes
+
+TEST(CurriculumTrainer, ValidatesArguments) {
+  LbAdapter adapter = small_lb();
+  EXPECT_THROW(CurriculumTrainer(adapter, nullptr, tiny_curriculum()),
+               std::invalid_argument);
+  CurriculumOptions bad = tiny_curriculum();
+  bad.rounds = 0;
+  EXPECT_THROW(CurriculumTrainer(
+                   adapter,
+                   std::make_unique<genet::GenetScheme>("llf", tiny_search()),
+                   bad),
+               std::invalid_argument);
+}
+
+TEST(CurriculumTrainer, PromotesOneConfigPerRound) {
+  LbAdapter adapter = small_lb();
+  CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", tiny_search()),
+      tiny_curriculum(3));
+  const auto records = trainer.run();
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(trainer.distribution().num_promoted(), 3u);
+  EXPECT_NEAR(trainer.distribution().uniform_weight(), std::pow(0.7, 3),
+              1e-12);
+  for (const auto& record : records) {
+    EXPECT_TRUE(adapter.space().contains(record.promoted));
+  }
+}
+
+TEST(CurriculumTrainer, RunRoundIsIncremental) {
+  LbAdapter adapter = small_lb();
+  CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", tiny_search()),
+      tiny_curriculum(5));
+  EXPECT_EQ(trainer.rounds_completed(), 0);
+  trainer.run_round();
+  EXPECT_EQ(trainer.rounds_completed(), 1);
+  EXPECT_EQ(trainer.distribution().num_promoted(), 1u);
+}
+
+TEST(HandcraftedScheme, WalksFromEasyToHardEnd) {
+  LbAdapter adapter = small_lb();
+  // Shuffle probability: low is easy, high is hard.
+  genet::HandcraftedScheme scheme("queue_shuffle_prob", /*hard_is_low=*/false,
+                                  /*total_rounds=*/4);
+  Rng rng(1);
+  netgym::Rng policy_rng(1);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  const std::size_t dim = adapter.space().index_of("queue_shuffle_prob");
+  double last = -1.0;
+  for (int round = 0; round < 4; ++round) {
+    const netgym::Config c = scheme.select(adapter, dummy, round, rng).config;
+    EXPECT_TRUE(adapter.space().contains(c));
+    EXPECT_GT(c.values[dim], last);
+    last = c.values[dim];
+  }
+  EXPECT_NEAR(last, adapter.space().param(dim).hi, 1e-9);
+}
+
+TEST(HandcraftedScheme, HardIsLowReversesDirection) {
+  LbAdapter adapter = small_lb();
+  genet::HandcraftedScheme scheme("job_interval_s", /*hard_is_low=*/true, 3);
+  Rng rng(1);
+  netgym::Rng policy_rng(1);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  const std::size_t dim = adapter.space().index_of("job_interval_s");
+  const netgym::Config first = scheme.select(adapter, dummy, 0, rng).config;
+  const netgym::Config last = scheme.select(adapter, dummy, 2, rng).config;
+  EXPECT_GT(first.values[dim], last.values[dim]);
+  EXPECT_NEAR(first.values[dim], adapter.space().param(dim).hi, 1e-9);
+  EXPECT_NEAR(last.values[dim], adapter.space().param(dim).lo, 1e-9);
+}
+
+TEST(Schemes, AllReturnConfigsInsideTheSpace) {
+  LbAdapter adapter = small_lb();
+  Rng rng(3);
+  netgym::Rng policy_rng(2);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  std::vector<std::unique_ptr<genet::CurriculumScheme>> schemes;
+  schemes.push_back(
+      std::make_unique<genet::GenetScheme>("llf", tiny_search()));
+  schemes.push_back(std::make_unique<genet::BaselinePerformanceScheme>(
+      "llf", tiny_search()));
+  schemes.push_back(
+      std::make_unique<genet::GapToOptimumScheme>(tiny_search()));
+  schemes.push_back(std::make_unique<genet::HandcraftedScheme>(
+      "queue_shuffle_prob", false, 3));
+  for (auto& scheme : schemes) {
+    const netgym::Config c = scheme->select(adapter, dummy, 0, rng).config;
+    EXPECT_TRUE(adapter.space().contains(c)) << scheme->name();
+    EXPECT_FALSE(scheme->name().empty());
+  }
+}
+
+TEST(EnsembleGenetScheme, ValidatesAndSelectsInSpace) {
+  LbAdapter adapter = small_lb();
+  EXPECT_THROW(genet::EnsembleGenetScheme({}, tiny_search()),
+               std::invalid_argument);
+  genet::EnsembleGenetScheme scheme({"llf", "shortest"}, tiny_search());
+  Rng rng(3);
+  netgym::Rng policy_rng(2);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  const auto selection = scheme.select(adapter, dummy, 0, rng);
+  EXPECT_TRUE(adapter.space().contains(selection.config));
+  EXPECT_EQ(scheme.name(), "genet_ensemble");
+}
+
+TEST(EnsembleGenetScheme, ScoreIsAtLeastAnySingleBaselineGap) {
+  // On the same config, the ensemble's criterion (max gap over baselines)
+  // must be >= the gap to each individual baseline.
+  LbAdapter adapter = small_lb();
+  netgym::Rng policy_rng(2);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  const netgym::Config config = adapter.space().midpoint();
+  double max_single = -1e300;
+  for (const char* name : {"llf", "shortest"}) {
+    netgym::Rng g(42);
+    max_single = std::max(
+        max_single,
+        genet::gap_to_baseline(adapter, dummy, name, config, 4, g));
+  }
+  // Recompute the ensemble criterion with the same seeds.
+  double ensemble = -1e300;
+  for (const char* name : {"llf", "shortest"}) {
+    netgym::Rng g(42);
+    ensemble = std::max(
+        ensemble, genet::gap_to_baseline(adapter, dummy, name, config, 4, g));
+  }
+  EXPECT_GE(ensemble, max_single - 1e-12);
+}
+
+TEST(SelfPlayScheme, KeepsBestReferenceAndSelectsInSpace) {
+  LbAdapter adapter = small_lb();
+  genet::SelfPlayScheme scheme(tiny_search());
+  Rng rng(3);
+  netgym::Rng policy_rng(2);
+  rl::TrainerOptions defaults;
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(),
+                      defaults.hidden, policy_rng);
+  dummy.set_greedy(true);
+  const auto first = scheme.select(adapter, dummy, 0, rng);
+  EXPECT_TRUE(adapter.space().contains(first.config));
+  const double score_after_first = scheme.reference_score();
+  // Same policy again: the reference stays (score can only move with a
+  // better policy), and selection still works.
+  const auto second = scheme.select(adapter, dummy, 1, rng);
+  EXPECT_TRUE(adapter.space().contains(second.config));
+  EXPECT_GE(scheme.reference_score(), score_after_first - 1e-9);
+}
+
+TEST(SelfPlayScheme, SelfGapIsNearZeroAgainstOwnSnapshot) {
+  // The reference equals the current policy right after the first select,
+  // so the paired gap at any config is ~0 (same greedy decisions).
+  LbAdapter adapter = small_lb();
+  Rng rng(3);
+  netgym::Rng policy_rng(2);
+  rl::TrainerOptions defaults;
+  rl::MlpPolicy policy(adapter.obs_size(), adapter.action_count(),
+                       defaults.hidden, policy_rng);
+  policy.set_greedy(true);
+  rl::MlpPolicy clone(adapter.obs_size(), adapter.action_count(),
+                      defaults.hidden, policy_rng);
+  clone.restore(policy.snapshot());
+  clone.set_greedy(true);
+  const double gap = genet::gap_between(
+      adapter, policy, clone, adapter.space().midpoint(), 4, rng);
+  EXPECT_NEAR(gap, 0.0, 1e-9);
+}
+
+TEST(GapBetween, DetectsABetterReference) {
+  // Reference = oracle-ish policy vs a policy that always picks the slowest
+  // server: the paired gap must be clearly positive.
+  LbAdapter adapter = small_lb();
+  Rng rng(5);
+  netgym::Config config = adapter.space().midpoint();
+  class Fixed : public netgym::Policy {
+   public:
+    explicit Fixed(int a) : a_(a) {}
+    int act(const netgym::Observation&, netgym::Rng&) override { return a_; }
+   private:
+    int a_;
+  };
+  Fixed slowest(0);   // slowest server (spread 0.5)
+  Fixed fastest(7);   // fastest server (spread 2.2)
+  const double gap =
+      genet::gap_between(adapter, slowest, fastest, config, 6, rng);
+  EXPECT_GT(gap, 0.0);
+  EXPECT_THROW(genet::gap_between(adapter, slowest, fastest, config, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainTraditional, ImprovesLbPolicyOverRandomInit) {
+  LbAdapter adapter(1);
+  auto trainer = genet::train_traditional(adapter, /*iterations=*/180, 3);
+  // Evaluate greedy policy vs an untrained one on the same envs.
+  auto fresh = adapter.make_trainer(1234);
+  trainer->policy().set_greedy(true);
+  fresh->policy().set_greedy(true);
+  netgym::ConfigDistribution dist(adapter.space());
+  Rng rng1(77), rng2(77);
+  const double trained = genet::test_on_distribution(
+      adapter, trainer->policy(), dist, 20, rng1);
+  const double untrained =
+      genet::test_on_distribution(adapter, fresh->policy(), dist, 20, rng2);
+  EXPECT_GT(trained, untrained);
+}
+
+TEST(TrainTraditional, ValidatesIterations) {
+  LbAdapter adapter = small_lb();
+  EXPECT_THROW(genet::train_traditional(adapter, 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "genet/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace {
+
+using genet::ModelZoo;
+
+class ZooTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("genet_zoo_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ZooTest, PutGetRoundTripsExactly) {
+  ModelZoo zoo(dir_.string());
+  const std::vector<double> params{1.0, -2.5, 3.14159265358979,
+                                   1e-17, 123456.789};
+  zoo.put("abr-genet-seed1", params);
+  EXPECT_TRUE(zoo.contains("abr-genet-seed1"));
+  EXPECT_EQ(zoo.get("abr-genet-seed1"), params);
+}
+
+TEST_F(ZooTest, GetMissingKeyThrows) {
+  ModelZoo zoo(dir_.string());
+  EXPECT_FALSE(zoo.contains("nope"));
+  EXPECT_THROW(zoo.get("nope"), std::runtime_error);
+}
+
+TEST_F(ZooTest, GetOrTrainInvokesTrainerOnlyOnce) {
+  ModelZoo zoo(dir_.string());
+  int calls = 0;
+  auto trainer = [&]() {
+    ++calls;
+    return std::vector<double>{1.0, 2.0};
+  };
+  const auto first = zoo.get_or_train("key", trainer);
+  const auto second = zoo.get_or_train("key", trainer);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(ZooTest, KeysAreSanitizedForTheFilesystem) {
+  ModelZoo zoo(dir_.string());
+  zoo.put("weird key/with:chars", {1.0});
+  EXPECT_TRUE(zoo.contains("weird key/with:chars"));
+  EXPECT_EQ(zoo.get("weird key/with:chars"), std::vector<double>{1.0});
+}
+
+TEST_F(ZooTest, EmptyParameterVectorRoundTrips) {
+  ModelZoo zoo(dir_.string());
+  zoo.put("empty", {});
+  EXPECT_TRUE(zoo.get("empty").empty());
+}
+
+TEST_F(ZooTest, EnvironmentVariableOverridesDirectory) {
+  ::setenv("GENET_MODEL_DIR", dir_.string().c_str(), 1);
+  ModelZoo zoo;  // default constructor reads the env var
+  EXPECT_EQ(zoo.directory(), dir_.string());
+  zoo.put("env-key", {4.2});
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "env-key.model"));
+  ::unsetenv("GENET_MODEL_DIR");
+}
+
+}  // namespace

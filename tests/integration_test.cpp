@@ -1,0 +1,115 @@
+// End-to-end integration tests: the full Genet loop (Algorithm 2) running
+// against real task adapters, on budgets small enough for CI but large
+// enough to exercise every moving part together (trainer, simulators,
+// baselines, BO search, distribution promotion).
+
+#include <gtest/gtest.h>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "traces/tracesets.hpp"
+
+namespace {
+
+using genet::CurriculumOptions;
+using genet::CurriculumTrainer;
+using netgym::Rng;
+
+genet::SearchOptions tiny_search() {
+  genet::SearchOptions options;
+  options.bo_trials = 5;
+  options.envs_per_eval = 2;
+  return options;
+}
+
+TEST(Integration, GenetEndToEndOnLb) {
+  genet::LbAdapter adapter(1);
+  CurriculumOptions options;
+  options.rounds = 3;
+  options.iters_per_round = 60;
+  options.seed = 21;
+  CurriculumTrainer genet_trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", tiny_search()),
+      options);
+  const auto records = genet_trainer.run();
+  ASSERT_EQ(records.size(), 3u);
+
+  // The Genet-trained policy must beat an untrained policy on the target
+  // distribution.
+  auto fresh = adapter.make_trainer(777);
+  genet_trainer.policy().set_greedy(true);
+  fresh->policy().set_greedy(true);
+  netgym::ConfigDistribution target(adapter.space());
+  Rng rng1(5), rng2(5);
+  const double trained = genet::test_on_distribution(
+      adapter, genet_trainer.policy(), target, 20, rng1);
+  const double untrained = genet::test_on_distribution(
+      adapter, fresh->policy(), target, 20, rng2);
+  EXPECT_GT(trained, untrained);
+}
+
+TEST(Integration, GenetEndToEndOnAbrSmoke) {
+  genet::AbrAdapter adapter(1);
+  CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 3;
+  options.seed = 4;
+  CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("bba", tiny_search()),
+      options);
+  const auto records = trainer.run();
+  EXPECT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    EXPECT_TRUE(adapter.space().contains(r.promoted));
+  }
+}
+
+TEST(Integration, GenetEndToEndOnCcSmoke) {
+  genet::CcAdapter adapter(1);
+  CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 3;
+  options.seed = 4;
+  CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("bbr", tiny_search()),
+      options);
+  const auto records = trainer.run();
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(trainer.distribution().num_promoted(), 2u);
+}
+
+TEST(Integration, TraceMixedTrainingRuns) {
+  genet::TraceMixOptions mix;
+  mix.corpus = traces::make_corpus(traces::TraceSet::kCellular, false);
+  genet::CcAdapter adapter(1, std::move(mix));
+  auto trainer = genet::train_traditional(adapter, 3, 9);
+  ASSERT_NE(trainer, nullptr);
+  // The trained policy runs on trace-driven test envs without issue.
+  trainer->policy().set_greedy(true);
+  Rng rng(2);
+  std::vector<netgym::Trace> test_corpus;
+  for (int i = 0; i < 3; ++i) {
+    test_corpus.push_back(
+        traces::make_trace(traces::TraceSet::kEthernet, true, i));
+  }
+  const auto rewards =
+      genet::test_per_trace(adapter, trainer->policy(), test_corpus, rng);
+  EXPECT_EQ(rewards.size(), 3u);
+}
+
+TEST(Integration, CurriculumDistributionStillCoversFullSpace) {
+  // S4.2 "impact of forgetting": after all rounds, the original uniform
+  // component retains enough mass that full-space envs keep appearing.
+  genet::LbAdapter adapter(1);
+  CurriculumOptions options;
+  options.rounds = 4;
+  options.iters_per_round = 1;
+  options.seed = 31;
+  CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", tiny_search()),
+      options);
+  trainer.run();
+  EXPECT_GT(trainer.distribution().uniform_weight(), 0.2);  // 0.7^4 = 0.24
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include "lb/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using lb::LbEnv;
+using lb::LbEnvConfig;
+using netgym::Rng;
+
+LbEnvConfig busy_config(double shuffle = 0.0) {
+  LbEnvConfig cfg;
+  cfg.num_jobs = 300;
+  cfg.job_interval_s = 0.05;  // noticeably loaded
+  cfg.queue_shuffle_prob = shuffle;
+  return cfg;
+}
+
+double run_policy(netgym::Policy& policy, const LbEnvConfig& cfg,
+                  std::uint64_t seed) {
+  LbEnv env(cfg, seed);
+  Rng rng(seed);
+  return netgym::run_episode(env, policy, rng).mean_reward;
+}
+
+TEST(Llf, PicksLeastLoadedDisplayedServer) {
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    obs[LbEnv::kObsWork + s] = 0.5 + s * 0.1;
+  }
+  obs[LbEnv::kObsWork + 5] = 0.01;
+  lb::LlfPolicy llf;
+  Rng rng(1);
+  EXPECT_EQ(llf.act(obs, rng), 5);
+}
+
+TEST(Naive, PicksMostLoadedServer) {
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  obs[LbEnv::kObsWork + 2] = 3.0;
+  lb::NaiveLbPolicy naive;
+  Rng rng(1);
+  EXPECT_EQ(naive.act(obs, rng), 2);
+}
+
+TEST(ShortestCompletion, TradesOffLoadAndSpeed) {
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  // Server 0: idle but very slow; server 7: slightly loaded but fast.
+  obs[LbEnv::kObsRates + 0] = 0.01;  // 100 B/s
+  obs[LbEnv::kObsRates + 7] = 1.0;   // 10 kB/s
+  obs[LbEnv::kObsWork + 7] = 0.05;   // 0.5 s queued
+  for (int s = 1; s < 7; ++s) {
+    obs[LbEnv::kObsRates + s] = 0.02;
+    obs[LbEnv::kObsWork + s] = 0.3;
+  }
+  obs[LbEnv::kObsJobSize] = 0.2;  // 2000 bytes
+  lb::ShortestCompletionPolicy policy;
+  Rng rng(1);
+  // Completion at 0: 20 s; at 7: 0.5 + 0.2 s -> server 7 wins.
+  EXPECT_EQ(policy.act(obs, rng), 7);
+}
+
+TEST(LeastRequests, UsesCountColumn) {
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    obs[LbEnv::kObsCount + s] = 0.5;
+  }
+  obs[LbEnv::kObsCount + 4] = 0.1;
+  lb::LeastRequestsPolicy policy;
+  Rng rng(1);
+  EXPECT_EQ(policy.act(obs, rng), 4);
+}
+
+TEST(RandomLb, CoversAllServers) {
+  lb::RandomLbPolicy policy;
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(lb::kNumServers, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[policy.act(obs, rng)];
+  for (int s = 0; s < lb::kNumServers; ++s) EXPECT_GT(counts[s], 0);
+}
+
+TEST(PowerOfTwo, ValidatesAndStaysInRange) {
+  EXPECT_THROW(lb::PowerOfTwoPolicy(0), std::invalid_argument);
+  EXPECT_THROW(lb::PowerOfTwoPolicy(lb::kNumServers + 1),
+               std::invalid_argument);
+  lb::PowerOfTwoPolicy po2;
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const int a = po2.act(obs, rng);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, lb::kNumServers);
+  }
+}
+
+TEST(PowerOfTwo, DLimitEqualsLlf) {
+  // With d == kNumServers every server is inspected, so JSQ(d) picks the
+  // displayed least-loaded server, same as LLF (up to tie order).
+  lb::PowerOfTwoPolicy full(lb::kNumServers);
+  netgym::Observation obs(LbEnv::kObsSize, 0.0);
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    obs[LbEnv::kObsWork + s] = 1.0 + s;
+  }
+  obs[LbEnv::kObsWork + 3] = 0.1;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(full.act(obs, rng), 3);
+}
+
+TEST(PowerOfTwo, BeatsRandomUnderLoad) {
+  lb::PowerOfTwoPolicy po2;
+  lb::RandomLbPolicy random;
+  double r_po2 = 0, r_random = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    r_po2 += run_policy(po2, busy_config(), seed);
+    r_random += run_policy(random, busy_config(), seed);
+  }
+  EXPECT_GT(r_po2, r_random);
+}
+
+TEST(Ranking, SensiblePoliciesBeatNaive) {
+  const LbEnvConfig cfg = busy_config();
+  lb::ShortestCompletionPolicy shortest;
+  lb::LlfPolicy llf;
+  lb::RandomLbPolicy random;
+  lb::NaiveLbPolicy naive;
+  double r_shortest = 0, r_llf = 0, r_random = 0, r_naive = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    r_shortest += run_policy(shortest, cfg, seed);
+    r_llf += run_policy(llf, cfg, seed);
+    r_random += run_policy(random, cfg, seed);
+    r_naive += run_policy(naive, cfg, seed);
+  }
+  EXPECT_GT(r_llf, r_naive);
+  EXPECT_GT(r_shortest, r_random);
+  EXPECT_GT(r_llf, r_random);
+}
+
+TEST(OracleLb, AtLeastAsGoodAsObservationPoliciesUnderShuffle) {
+  // With fully shuffled observations, obs-based policies degrade while the
+  // oracle (reading true state) does not.
+  const LbEnvConfig cfg = busy_config(/*shuffle=*/1.0);
+  double r_oracle = 0, r_llf = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    {
+      LbEnv env(cfg, seed);
+      lb::OracleLbPolicy oracle(env);
+      Rng rng(seed);
+      r_oracle += netgym::run_episode(env, oracle, rng).mean_reward;
+    }
+    {
+      LbEnv env(cfg, seed);
+      lb::LlfPolicy llf;
+      Rng rng(seed);
+      r_llf += netgym::run_episode(env, llf, rng).mean_reward;
+    }
+  }
+  EXPECT_GT(r_oracle, r_llf);
+}
+
+TEST(Shuffle, HurtsObservationBasedPolicies) {
+  lb::ShortestCompletionPolicy policy;
+  double clean = 0, shuffled = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    clean += run_policy(policy, busy_config(0.0), seed);
+    shuffled += run_policy(policy, busy_config(1.0), seed);
+  }
+  EXPECT_GT(clean, shuffled);
+}
+
+}  // namespace

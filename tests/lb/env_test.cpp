@@ -1,0 +1,177 @@
+#include "lb/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using lb::LbEnv;
+using lb::LbEnvConfig;
+using netgym::Rng;
+
+LbEnvConfig quiet_config() {
+  LbEnvConfig cfg;
+  cfg.num_jobs = 50;
+  cfg.queue_shuffle_prob = 0.0;  // observations are truthful
+  return cfg;
+}
+
+TEST(LbConfigSpace, MatchesTable5) {
+  for (int which : {1, 2, 3}) {
+    EXPECT_EQ(lb::lb_config_space(which).dims(), 5u);
+  }
+  const auto rl1 = lb::lb_config_space(1);
+  const auto rl3 = lb::lb_config_space(3);
+  for (std::size_t d = 0; d < rl1.dims(); ++d) {
+    EXPECT_GE(rl1.param(d).lo, rl3.param(d).lo);
+    EXPECT_LE(rl1.param(d).hi, rl3.param(d).hi);
+  }
+  EXPECT_THROW(lb::lb_config_space(0), std::invalid_argument);
+}
+
+TEST(LbConfigSpace, PointRoundTrip) {
+  Rng rng(1);
+  const auto space = lb::lb_config_space(3);
+  const netgym::Config point = space.sample(rng);
+  const netgym::Config back =
+      lb::lb_point_from_config(lb::lb_config_from_point(point));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(back.values[i], point.values[i]);
+  }
+}
+
+TEST(LbEnv, ServerRatesFollowSpread) {
+  LbEnv env(quiet_config(), 1);
+  for (int i = 1; i < lb::kNumServers; ++i) {
+    EXPECT_GT(env.server_rate_bytes_per_s(i), env.server_rate_bytes_per_s(i - 1));
+  }
+  EXPECT_THROW(env.server_rate_bytes_per_s(-1), std::out_of_range);
+  EXPECT_THROW(env.server_rate_bytes_per_s(lb::kNumServers), std::out_of_range);
+}
+
+TEST(LbEnv, EpisodeLengthEqualsNumJobs) {
+  LbEnv env(quiet_config(), 1);
+  env.reset();
+  int steps = 0;
+  bool done = false;
+  while (!done) {
+    done = env.step(steps % lb::kNumServers).done;
+    ++steps;
+  }
+  EXPECT_EQ(steps, 50);
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(LbEnv, FirstJobDelayIsPureProcessing) {
+  LbEnv env(quiet_config(), 1);
+  env.reset();
+  const double job = env.current_job_bytes();
+  const int server = 3;
+  const double expected = job / env.server_rate_bytes_per_s(server);
+  const auto result = env.step(server);
+  EXPECT_NEAR(result.reward, -expected, 1e-9);
+}
+
+TEST(LbEnv, PilingOntoOneServerGrowsDelay) {
+  LbEnvConfig cfg = quiet_config();
+  cfg.job_interval_s = 0.001;  // arrivals far faster than service
+  LbEnv env(cfg, 2);
+  env.reset();
+  double last_reward = 0.0;
+  bool grew = false;
+  for (int i = 0; i < 20; ++i) {
+    const double r = env.step(0).reward;
+    if (i > 0 && r < last_reward) grew = true;
+    last_reward = r;
+  }
+  EXPECT_TRUE(grew);
+  EXPECT_GT(env.true_queued_work_s(0), 0.0);
+  EXPECT_EQ(env.true_queued_work_s(1), 0.0);
+}
+
+TEST(LbEnv, QueuesDrainWhenIdle) {
+  LbEnvConfig cfg = quiet_config();
+  cfg.job_interval_s = 100.0;  // huge gaps between arrivals
+  LbEnv env(cfg, 3);
+  env.reset();
+  env.step(0);
+  // After one inter-arrival gap of ~100 s, any queued work has drained.
+  EXPECT_EQ(env.true_queued_work_s(0), 0.0);
+  EXPECT_EQ(env.true_queued_jobs(0), 0);
+}
+
+TEST(LbEnv, UnshuffledObservationMatchesTrueState) {
+  LbEnv env(quiet_config(), 4);
+  netgym::Observation obs = env.reset();
+  for (int i = 0; i < 6; ++i) obs = env.step(i % lb::kNumServers).observation;
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    EXPECT_NEAR(obs[LbEnv::kObsWork + s] * 10.0, env.true_queued_work_s(s),
+                1e-9);
+    EXPECT_NEAR(obs[LbEnv::kObsRates + s] * 10000.0,
+                env.server_rate_bytes_per_s(s), 1e-9);
+  }
+  EXPECT_NEAR(obs[LbEnv::kObsJobSize] * 10000.0, env.current_job_bytes(),
+              1e-9);
+}
+
+TEST(LbEnv, FullShuffleScramblesObservation) {
+  LbEnvConfig cfg = quiet_config();
+  cfg.queue_shuffle_prob = 1.0;
+  LbEnv env(cfg, 5);
+  netgym::Observation obs = env.reset();
+  // Load one server heavily, then check the reported rate columns are a
+  // permutation (the sorted multiset of rates is preserved).
+  for (int i = 0; i < 5; ++i) obs = env.step(0).observation;
+  std::vector<double> reported, truth;
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    reported.push_back(obs[LbEnv::kObsRates + s] * 10000.0);
+    truth.push_back(env.server_rate_bytes_per_s(s));
+  }
+  std::sort(reported.begin(), reported.end());
+  std::sort(truth.begin(), truth.end());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(reported[i], truth[i], 1e-9);
+  }
+}
+
+TEST(LbEnv, JobSizesFollowParetoScale) {
+  LbEnvConfig cfg = quiet_config();
+  cfg.job_size_bytes = 1000.0;
+  cfg.num_jobs = 3000;
+  LbEnv env(cfg, 6);
+  env.reset();
+  double min_seen = 1e18, sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    min_seen = std::min(min_seen, env.current_job_bytes());
+    sum += env.current_job_bytes();
+    if (env.step(0).done) break;
+  }
+  EXPECT_GE(min_seen, 1000.0);            // Pareto scale floor
+  EXPECT_NEAR(sum / 3000, 2000.0, 300.0);  // shape-2 mean = 2 * scale
+}
+
+TEST(LbEnv, ValidatesConfigAndActions) {
+  LbEnvConfig bad = quiet_config();
+  bad.service_rate = 0.0;
+  EXPECT_THROW(LbEnv(bad, 1), std::invalid_argument);
+  LbEnv env(quiet_config(), 1);
+  env.reset();
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+  EXPECT_THROW(env.step(lb::kNumServers), std::invalid_argument);
+}
+
+TEST(LbEnv, DeterministicGivenSeed) {
+  LbEnv a(quiet_config(), 9);
+  LbEnv b(quiet_config(), 9);
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 30; ++i) {
+    const auto ra = a.step(i % lb::kNumServers);
+    const auto rb = b.step(i % lb::kNumServers);
+    EXPECT_EQ(ra.reward, rb.reward);
+    EXPECT_EQ(ra.observation, rb.observation);
+  }
+}
+
+}  // namespace

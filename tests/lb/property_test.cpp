@@ -1,0 +1,79 @@
+// Property tests for the LB simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lb/baselines.hpp"
+#include "lb/env.hpp"
+
+namespace {
+
+using lb::LbEnv;
+using netgym::Rng;
+
+class LbEnvProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbEnvProperties, InvariantsHoldUnderRandomPlay) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const netgym::ConfigSpace space = lb::lb_config_space(3);
+  lb::LbEnvConfig cfg = lb::lb_config_from_point(space.sample(rng));
+  cfg.num_jobs = std::min(cfg.num_jobs, 300.0);  // bound the sweep
+  auto env = lb::make_lb_env(cfg, rng);
+
+  netgym::Observation obs = env->reset();
+  bool done = false;
+  double reward_sum = 0.0;
+  int steps = 0;
+  while (!done) {
+    for (double v : obs) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0);  // all LB features are non-negative
+    }
+    const auto result = env->step(rng.uniform_int(0, lb::kNumServers - 1));
+    ASSERT_LE(result.reward, 0.0);  // reward is a negated delay
+    ASSERT_TRUE(std::isfinite(result.reward));
+    reward_sum += result.reward;
+    obs = result.observation;
+    done = result.done;
+    ++steps;
+  }
+  EXPECT_EQ(steps, static_cast<int>(std::lround(cfg.num_jobs)));
+  EXPECT_LE(reward_sum, 0.0);
+  // True state is always consistent after the episode.
+  for (int s = 0; s < lb::kNumServers; ++s) {
+    EXPECT_GE(env->true_queued_work_s(s), 0.0);
+    EXPECT_GE(env->true_queued_jobs(s), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, LbEnvProperties,
+                         ::testing::Range(0, 20));
+
+TEST(LbEnvProperty, OracleWeaklyDominatesRandomAcrossConfigs) {
+  // The omniscient oracle should beat random assignment on virtually every
+  // configuration; aggregated over several configs it must win clearly.
+  Rng rng(99);
+  const netgym::ConfigSpace space = lb::lb_config_space(3);
+  double oracle_total = 0.0, random_total = 0.0;
+  for (int c = 0; c < 8; ++c) {
+    lb::LbEnvConfig cfg = lb::lb_config_from_point(space.sample(rng));
+    cfg.num_jobs = std::min(cfg.num_jobs, 300.0);
+    const std::uint64_t seed = 1000 + c;
+    {
+      LbEnv env(cfg, seed);
+      lb::OracleLbPolicy oracle(env);
+      Rng prng(1);
+      oracle_total += netgym::run_episode(env, oracle, prng).mean_reward;
+    }
+    {
+      LbEnv env(cfg, seed);
+      lb::RandomLbPolicy random;
+      Rng prng(1);
+      random_total += netgym::run_episode(env, random, prng).mean_reward;
+    }
+  }
+  EXPECT_GT(oracle_total, random_total);
+}
+
+}  // namespace

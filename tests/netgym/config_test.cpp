@@ -1,0 +1,194 @@
+#include "netgym/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using netgym::Config;
+using netgym::ConfigDistribution;
+using netgym::ConfigSpace;
+using netgym::ParamSpec;
+using netgym::Rng;
+
+ConfigSpace demo_space() {
+  return ConfigSpace({ParamSpec{"bw", 1.0, 10.0},
+                      ParamSpec{"rtt", 20.0, 200.0},
+                      ParamSpec{"queue", 2.0, 50.0, /*integer=*/true}});
+}
+
+TEST(ConfigSpace, RejectsInvertedRange) {
+  EXPECT_THROW(ConfigSpace({ParamSpec{"x", 2.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpace, IndexOfFindsAndThrows) {
+  const ConfigSpace space = demo_space();
+  EXPECT_EQ(space.index_of("rtt"), 1u);
+  EXPECT_THROW(space.index_of("nope"), std::invalid_argument);
+}
+
+TEST(ConfigSpace, SampleStaysInsideAndRoundsIntegers) {
+  const ConfigSpace space = demo_space();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Config c = space.sample(rng);
+    ASSERT_TRUE(space.contains(c));
+    const double q = c.values[2];
+    EXPECT_EQ(q, std::round(q));
+  }
+}
+
+TEST(ConfigSpace, MidpointIsCentered) {
+  const ConfigSpace space = demo_space();
+  const Config mid = space.midpoint();
+  EXPECT_DOUBLE_EQ(mid.values[0], 5.5);
+  EXPECT_DOUBLE_EQ(mid.values[1], 110.0);
+  EXPECT_EQ(mid.values[2], 26.0);
+}
+
+TEST(ConfigSpace, NormalizeDenormalizeRoundTrips) {
+  const ConfigSpace space = demo_space();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = space.sample(rng);
+    const Config back = space.denormalize(space.normalize(c));
+    for (std::size_t d = 0; d < c.values.size(); ++d) {
+      EXPECT_NEAR(back.values[d], c.values[d], 1e-9) << "dim " << d;
+    }
+  }
+}
+
+TEST(ConfigSpace, DenormalizeClampsUnitCoordinates) {
+  const ConfigSpace space = demo_space();
+  const Config lo = space.denormalize({-1.0, -0.5, -2.0});
+  const Config hi = space.denormalize({2.0, 1.5, 3.0});
+  EXPECT_DOUBLE_EQ(lo.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(hi.values[0], 10.0);
+  EXPECT_DOUBLE_EQ(lo.values[1], 20.0);
+  EXPECT_DOUBLE_EQ(hi.values[1], 200.0);
+}
+
+TEST(ConfigSpace, NormalizeDegenerateDimensionMapsToHalf) {
+  const ConfigSpace space({ParamSpec{"fixed", 5.0, 5.0}});
+  EXPECT_DOUBLE_EQ(space.normalize(Config{{5.0}})[0], 0.5);
+}
+
+TEST(ConfigSpace, ClampPullsValuesIntoRange) {
+  const ConfigSpace space = demo_space();
+  const Config c = space.clamp(Config{{-5.0, 500.0, 7.4}});
+  EXPECT_DOUBLE_EQ(c.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.values[1], 200.0);
+  EXPECT_EQ(c.values[2], 7.0);  // integer dim rounds
+}
+
+TEST(ConfigSpace, ContainsRejectsWrongArity) {
+  EXPECT_FALSE(demo_space().contains(Config{{1.0}}));
+}
+
+TEST(ConfigSpaceLog, RejectsNonPositiveLowerBound) {
+  EXPECT_THROW(ConfigSpace({ParamSpec{"bw", 0.0, 10.0, false, true}}),
+               std::invalid_argument);
+}
+
+TEST(ConfigSpaceLog, SamplesWithGeometricMedian) {
+  // Log-uniform sampling over [1, 100]: the median is the geometric mean 10,
+  // not the arithmetic midpoint 50.5.
+  const ConfigSpace space({ParamSpec{"bw", 1.0, 100.0, false, true}});
+  Rng rng(5);
+  int below_geo = 0, below_arith = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = space.sample(rng).values[0];
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 100.0);
+    if (v < 10.0) ++below_geo;
+    if (v < 50.5) ++below_arith;
+  }
+  EXPECT_NEAR(below_geo / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_GT(below_arith / static_cast<double>(n), 0.8);
+}
+
+TEST(ConfigSpaceLog, MidpointIsGeometric) {
+  const ConfigSpace space({ParamSpec{"bw", 1.0, 100.0, false, true}});
+  EXPECT_NEAR(space.midpoint().values[0], 10.0, 1e-9);
+}
+
+TEST(ConfigSpaceLog, NormalizeDenormalizeRoundTripsInLogSpace) {
+  const ConfigSpace space({ParamSpec{"bw", 2.0, 1000.0, false, true},
+                           ParamSpec{"lin", 0.0, 1.0}});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = space.sample(rng);
+    const Config back = space.denormalize(space.normalize(c));
+    EXPECT_NEAR(back.values[0], c.values[0], 1e-6 * c.values[0]);
+    EXPECT_NEAR(back.values[1], c.values[1], 1e-9);
+  }
+  // Unit coordinate 0.5 lands on the geometric mean for the log dim.
+  EXPECT_NEAR(space.denormalize({0.5, 0.5}).values[0],
+              std::sqrt(2.0 * 1000.0), 1e-6);
+}
+
+TEST(ConfigDistribution, InitiallyUniform) {
+  ConfigDistribution dist(demo_space());
+  EXPECT_DOUBLE_EQ(dist.uniform_weight(), 1.0);
+  EXPECT_EQ(dist.num_promoted(), 0u);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(dist.space().contains(dist.sample(rng)));
+  }
+}
+
+TEST(ConfigDistribution, PromoteScalesWeights) {
+  ConfigDistribution dist(demo_space());
+  const Config point{{2.0, 30.0, 4.0}};
+  dist.promote(point, 0.3);
+  EXPECT_NEAR(dist.uniform_weight(), 0.7, 1e-12);
+  dist.promote(point, 0.3);
+  EXPECT_NEAR(dist.uniform_weight(), 0.49, 1e-12);
+  EXPECT_EQ(dist.num_promoted(), 2u);
+  // First promoted point's weight decayed from 0.3 to 0.21.
+  EXPECT_NEAR(dist.promoted()[0].second, 0.21, 1e-12);
+  EXPECT_NEAR(dist.promoted()[1].second, 0.3, 1e-12);
+}
+
+TEST(ConfigDistribution, AfterNineRoundsOriginalWeightMatchesPaper) {
+  // S4.2: after 9 promotions with w = 0.3 the original distribution still
+  // holds 0.7^9 of the probability mass.
+  ConfigDistribution dist(demo_space());
+  const Config point{{2.0, 30.0, 4.0}};
+  for (int i = 0; i < 9; ++i) dist.promote(point, 0.3);
+  EXPECT_NEAR(dist.uniform_weight(), std::pow(0.7, 9), 1e-12);
+}
+
+TEST(ConfigDistribution, SamplesPromotedPointAtExpectedFrequency) {
+  ConfigDistribution dist(demo_space());
+  const Config point{{2.0, 30.0, 4.0}};
+  dist.promote(point, 0.3);
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) == point) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(ConfigDistribution, PromoteValidatesArguments) {
+  ConfigDistribution dist(demo_space());
+  EXPECT_THROW(dist.promote(Config{{1.0}}, 0.3), std::invalid_argument);
+  EXPECT_THROW(dist.promote(Config{{2.0, 30.0, 4.0}}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(dist.promote(Config{{2.0, 30.0, 4.0}}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ConfigDistribution, PromotedPointsAreClampedToSpace) {
+  ConfigDistribution dist(demo_space());
+  dist.promote(Config{{100.0, 0.0, 7.2}}, 0.5);
+  const Config& stored = dist.promoted()[0].first;
+  EXPECT_TRUE(dist.space().contains(stored));
+}
+
+}  // namespace

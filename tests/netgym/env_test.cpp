@@ -1,0 +1,96 @@
+#include "netgym/env.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using netgym::Env;
+using netgym::Observation;
+using netgym::Policy;
+using netgym::Rng;
+
+/// Counts down `length` steps; reward equals the action taken.
+class CountdownEnv : public Env {
+ public:
+  explicit CountdownEnv(int length) : length_(length) {}
+
+  Observation reset() override {
+    remaining_ = length_;
+    return {static_cast<double>(remaining_)};
+  }
+
+  StepResult step(int action) override {
+    if (remaining_ <= 0) throw std::logic_error("step after done");
+    --remaining_;
+    return {{static_cast<double>(remaining_)}, static_cast<double>(action),
+            remaining_ == 0};
+  }
+
+  int action_count() const override { return 3; }
+  std::size_t observation_size() const override { return 1; }
+
+ private:
+  int length_;
+  int remaining_ = 0;
+};
+
+class FixedPolicy : public Policy {
+ public:
+  explicit FixedPolicy(int action) : action_(action) {}
+  int act(const Observation&, Rng&) override { return action_; }
+
+ private:
+  int action_;
+};
+
+TEST(RunEpisode, AccumulatesRewardAndSteps) {
+  CountdownEnv env(5);
+  FixedPolicy policy(2);
+  Rng rng(1);
+  const netgym::EpisodeStats stats = netgym::run_episode(env, policy, rng);
+  EXPECT_EQ(stats.steps, 5);
+  EXPECT_DOUBLE_EQ(stats.total_reward, 10.0);
+  EXPECT_DOUBLE_EQ(stats.mean_reward, 2.0);
+}
+
+TEST(RunEpisode, HonorsMaxSteps) {
+  CountdownEnv env(100);
+  FixedPolicy policy(1);
+  Rng rng(1);
+  const netgym::EpisodeStats stats =
+      netgym::run_episode(env, policy, rng, /*max_steps=*/10);
+  EXPECT_EQ(stats.steps, 10);
+}
+
+TEST(RunEpisode, RejectsInvalidActions) {
+  CountdownEnv env(5);
+  FixedPolicy policy(7);  // out of range for action_count() == 3
+  Rng rng(1);
+  EXPECT_THROW(netgym::run_episode(env, policy, rng), std::logic_error);
+}
+
+TEST(RunEpisode, RejectsNonPositiveMaxSteps) {
+  CountdownEnv env(5);
+  FixedPolicy policy(0);
+  Rng rng(1);
+  EXPECT_THROW(netgym::run_episode(env, policy, rng, 0),
+               std::invalid_argument);
+}
+
+/// begin_episode must be called exactly once per episode.
+TEST(RunEpisode, CallsBeginEpisode) {
+  class CountingPolicy : public Policy {
+   public:
+    void begin_episode() override { ++episodes; }
+    int act(const Observation&, Rng&) override { return 0; }
+    int episodes = 0;
+  };
+  CountdownEnv env(3);
+  CountingPolicy policy;
+  Rng rng(1);
+  netgym::run_episode(env, policy, rng);
+  netgym::run_episode(env, policy, rng);
+  EXPECT_EQ(policy.episodes, 2);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include "netgym/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using netgym::Rng;
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsBound) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform(4.2, 4.2), 4.2);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMatchesMoments) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(2.0, 0.5);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianZeroSdIsDeterministic) {
+  Rng rng(1);
+  EXPECT_EQ(rng.gaussian(1.5, 0.0), 1.5);
+}
+
+TEST(Rng, GaussianRejectsNegativeSd) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 100.0), 100.0);
+  }
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[X] = shape * scale / (shape - 1) for shape > 1.
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(3.0, 1.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, ParetoRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremesAreDeterministic) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliClampsOutOfRangeProbability) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.categorical({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeightEntries) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, CategoricalRejectsDegenerateWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, ForkedStreamsDiverge) {
+  Rng parent(123);
+  Rng child = parent.fork();
+  // The child stream must differ from the parent's continued stream.
+  bool differ = false;
+  Rng parent2(123);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 50; ++i) {
+    const double c = child.uniform(0.0, 1.0);
+    const double p = parent.uniform(0.0, 1.0);
+    if (c != p) differ = true;
+    // Forking is itself deterministic.
+    EXPECT_EQ(c, child2.uniform(0.0, 1.0));
+    EXPECT_EQ(p, parent2.uniform(0.0, 1.0));
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace

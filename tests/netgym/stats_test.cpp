@@ -1,0 +1,71 @@
+#include "netgym/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Stats, MeanHandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(netgym::mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(netgym::mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevMatchesSampleFormula) {
+  EXPECT_DOUBLE_EQ(netgym::stddev({2.0}), 0.0);
+  EXPECT_NEAR(netgym::stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              2.13808993, 1e-6);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW(netgym::min_of({}), std::invalid_argument);
+  EXPECT_THROW(netgym::max_of({}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(netgym::min_of({3.0, 1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(netgym::max_of({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, PercentileInterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(netgym::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(netgym::percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(netgym::percentile(xs, 50.0), 25.0);
+  EXPECT_NEAR(netgym::percentile(xs, 90.0), 37.0, 1e-9);
+}
+
+TEST(Stats, PercentileIsOrderInvariant) {
+  EXPECT_DOUBLE_EQ(netgym::percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(netgym::percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(netgym::percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(netgym::percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, MedianOfSingleton) {
+  EXPECT_DOUBLE_EQ(netgym::median({5.0}), 5.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelations) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(netgym::pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(netgym::pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(netgym::pearson({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, PearsonValidatesInput) {
+  EXPECT_THROW(netgym::pearson({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(netgym::pearson({1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Stats, WinFractionCountsStrictWins) {
+  EXPECT_DOUBLE_EQ(netgym::win_fraction({1.0, 3.0, 5.0}, {2.0, 2.0, 5.0}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(netgym::win_fraction({}, {}), 0.0);
+  EXPECT_THROW(netgym::win_fraction({1.0}, {}), std::invalid_argument);
+}
+
+}  // namespace

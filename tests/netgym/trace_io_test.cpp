@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "netgym/trace.hpp"
+
+namespace {
+
+using netgym::Rng;
+using netgym::Trace;
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("genet_trace_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceIoTest, SaveLoadRoundTrips) {
+  Rng rng(7);
+  const Trace original =
+      netgym::generate_abr_trace(netgym::AbrTraceParams{}, rng);
+  netgym::save_trace(original, path("roundtrip.trace"));
+  const Trace loaded = netgym::load_trace(path("roundtrip.trace"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.timestamps_s[i], original.timestamps_s[i], 1e-6);
+    EXPECT_NEAR(loaded.bandwidth_mbps[i], original.bandwidth_mbps[i], 1e-6);
+  }
+}
+
+TEST_F(TraceIoTest, LoadAcceptsBlankLines) {
+  std::ofstream out(path("blank.trace"));
+  out << "0.0 1.5\n\n1.0 2.5\n   \n2.0 3.5\n";
+  out.close();
+  const Trace t = netgym::load_trace(path("blank.trace"));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.bandwidth_mbps[1], 2.5);
+}
+
+TEST_F(TraceIoTest, LoadRejectsMalformedLine) {
+  std::ofstream out(path("bad.trace"));
+  out << "0.0 1.5\nnot-a-number 2.0\n";
+  out.close();
+  EXPECT_THROW(netgym::load_trace(path("bad.trace")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadRejectsEmptyFile) {
+  std::ofstream out(path("empty.trace"));
+  out.close();
+  EXPECT_THROW(netgym::load_trace(path("empty.trace")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadValidatesInvariants) {
+  std::ofstream out(path("nonmono.trace"));
+  out << "1.0 2.0\n0.5 3.0\n";  // timestamps not increasing
+  out.close();
+  EXPECT_THROW(netgym::load_trace(path("nonmono.trace")),
+               std::invalid_argument);
+}
+
+TEST_F(TraceIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(netgym::load_trace(path("missing.trace")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, SaveRejectsInvalidTrace) {
+  Trace bad;
+  bad.timestamps_s = {0.0, 1.0};
+  bad.bandwidth_mbps = {1.0};
+  EXPECT_THROW(netgym::save_trace(bad, path("x.trace")),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using nn::Adam;
+
+TEST(Adam, ValidatesOptions) {
+  EXPECT_THROW(Adam(3, {.lr = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Adam(3, {.beta1 = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adam(3, {.beta2 = -0.1}), std::invalid_argument);
+}
+
+TEST(Adam, StepValidatesSizes) {
+  Adam opt(3);
+  std::vector<double> params(3, 0.0);
+  std::vector<double> grads(2, 0.0);
+  EXPECT_THROW(opt.step(params, grads), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = sum (x_i - t_i)^2, gradient 2(x - t).
+  const std::vector<double> target{1.0, -2.0, 0.5};
+  std::vector<double> x{5.0, 5.0, 5.0};
+  Adam opt(3, {.lr = 0.05, .max_grad_norm = 0.0});
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> g(3);
+    for (int j = 0; j < 3; ++j) g[j] = 2 * (x[j] - target[j]);
+    opt.step(x, g);
+  }
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(x[j], target[j], 1e-3);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  std::vector<double> x{0.0};
+  Adam opt(1, {.lr = 0.1, .max_grad_norm = 0.0});
+  opt.step(x, {3.0});
+  EXPECT_NEAR(x[0], -0.1, 1e-6);
+}
+
+TEST(Adam, GradientClippingBoundsStep) {
+  std::vector<double> a{0.0}, b{0.0};
+  Adam clipped(1, {.lr = 0.1, .max_grad_norm = 1.0});
+  Adam unclipped(1, {.lr = 0.1, .max_grad_norm = 0.0});
+  clipped.step(a, {100.0});
+  unclipped.step(b, {100.0});
+  // Both move by ~lr on the first step (Adam normalizes), but the clipped
+  // optimizer saw gradient 1.0 -- verify by the accumulated second moment:
+  // a second zero-gradient step decays differently.
+  clipped.step(a, {0.0});
+  unclipped.step(b, {0.0});
+  EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Adam, ResetClearsState) {
+  std::vector<double> x{0.0};
+  Adam opt(1, {.lr = 0.1, .max_grad_norm = 0.0});
+  opt.step(x, {1.0});
+  const double after_first = x[0];
+  opt.reset();
+  x[0] = 0.0;
+  opt.step(x, {1.0});
+  EXPECT_DOUBLE_EQ(x[0], after_first);
+}
+
+TEST(Adam, SetLearningRateTakesEffect) {
+  std::vector<double> x{0.0};
+  Adam opt(1, {.lr = 0.1, .max_grad_norm = 0.0});
+  opt.set_learning_rate(0.2);
+  opt.step(x, {1.0});
+  EXPECT_NEAR(x[0], -0.2, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "rl/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using netgym::Rng;
+using rl::MlpPolicy;
+
+TEST(MlpPolicy, ValidatesConstruction) {
+  Rng rng(1);
+  EXPECT_THROW(MlpPolicy(0, 3, {8}, rng), std::invalid_argument);
+  EXPECT_THROW(MlpPolicy(4, 0, {8}, rng), std::invalid_argument);
+}
+
+TEST(MlpPolicy, ProbsSumToOne) {
+  Rng rng(1);
+  MlpPolicy policy(4, 5, {8, 8}, rng);
+  const auto p = policy.probs({0.1, 0.2, 0.3, 0.4});
+  ASSERT_EQ(p.size(), 5u);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MlpPolicy, GreedyPicksArgmaxDeterministically) {
+  Rng rng(2);
+  MlpPolicy policy(3, 4, {8}, rng);
+  policy.set_greedy(true);
+  const netgym::Observation obs{0.5, -0.5, 1.0};
+  const auto logits = policy.logits(obs);
+  int expected = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (logits[static_cast<std::size_t>(i)] > logits[static_cast<std::size_t>(expected)]) expected = i;
+  }
+  Rng act_rng(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.act(obs, act_rng), expected);
+  }
+}
+
+TEST(MlpPolicy, SamplingFollowsProbabilities) {
+  Rng rng(3);
+  MlpPolicy policy(2, 3, {8}, rng);
+  const netgym::Observation obs{1.0, -1.0};
+  const auto p = policy.probs(obs);
+  Rng act_rng(7);
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[policy.act(obs, act_rng)];
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_NEAR(counts[a] / static_cast<double>(n), p[static_cast<std::size_t>(a)], 0.02);
+  }
+}
+
+TEST(MlpPolicy, SnapshotRestoreRoundTrips) {
+  Rng rng(4);
+  MlpPolicy a(3, 2, {8}, rng);
+  MlpPolicy b(3, 2, {8}, rng);  // different random init
+  const netgym::Observation obs{0.1, 0.2, 0.3};
+  ASSERT_NE(a.logits(obs), b.logits(obs));
+  b.restore(a.snapshot());
+  EXPECT_EQ(a.logits(obs), b.logits(obs));
+}
+
+}  // namespace

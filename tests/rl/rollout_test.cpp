@@ -1,0 +1,129 @@
+#include "rl/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using rl::RolloutBatch;
+using rl::Transition;
+
+RolloutBatch two_episode_batch() {
+  RolloutBatch batch;
+  // Episode 1: rewards 1, 2 (done). Episode 2: rewards 3, 4, 5 (done).
+  batch.transitions = {
+      Transition{{0.0}, 0, 1.0, false}, Transition{{0.0}, 0, 2.0, true},
+      Transition{{0.0}, 0, 3.0, false}, Transition{{0.0}, 0, 4.0, false},
+      Transition{{0.0}, 0, 5.0, true}};
+  return batch;
+}
+
+TEST(RolloutBatch, CountsEpisodesAndRewards) {
+  const RolloutBatch batch = two_episode_batch();
+  EXPECT_EQ(batch.num_episodes(), 2);
+  EXPECT_DOUBLE_EQ(batch.total_reward(), 15.0);
+  EXPECT_DOUBLE_EQ(batch.mean_episode_reward(), 7.5);
+}
+
+TEST(RolloutBatch, TrailingOpenEpisodeCounts) {
+  RolloutBatch batch = two_episode_batch();
+  batch.transitions.push_back(Transition{{0.0}, 0, 9.0, false});
+  EXPECT_EQ(batch.num_episodes(), 3);
+}
+
+TEST(DiscountedReturns, UndiscountedSumsWithinEpisodes) {
+  const auto returns = discounted_returns(two_episode_batch(), 1.0);
+  EXPECT_DOUBLE_EQ(returns[0], 3.0);   // 1 + 2
+  EXPECT_DOUBLE_EQ(returns[1], 2.0);
+  EXPECT_DOUBLE_EQ(returns[2], 12.0);  // 3 + 4 + 5
+  EXPECT_DOUBLE_EQ(returns[3], 9.0);
+  EXPECT_DOUBLE_EQ(returns[4], 5.0);
+}
+
+TEST(DiscountedReturns, DiscountingAndEpisodeBoundaries) {
+  const double gamma = 0.5;
+  const auto returns = discounted_returns(two_episode_batch(), gamma);
+  EXPECT_DOUBLE_EQ(returns[1], 2.0);            // terminal step
+  EXPECT_DOUBLE_EQ(returns[0], 1.0 + 0.5 * 2);  // no leak from episode 2
+  EXPECT_DOUBLE_EQ(returns[4], 5.0);
+  EXPECT_DOUBLE_EQ(returns[3], 4.0 + 0.5 * 5.0);
+  EXPECT_DOUBLE_EQ(returns[2], 3.0 + 0.5 * (4.0 + 0.5 * 5.0));
+}
+
+TEST(DiscountedReturns, RejectsBadGamma) {
+  EXPECT_THROW(discounted_returns(two_episode_batch(), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(discounted_returns(two_episode_batch(), 1.1),
+               std::invalid_argument);
+}
+
+TEST(GaeAdvantages, ReducesToTdErrorWhenLambdaZero) {
+  const RolloutBatch batch = two_episode_batch();
+  const std::vector<double> values{0.5, 1.0, 2.0, 1.5, 0.5};
+  const auto adv = gae_advantages(batch, values, 0.9, 0.0);
+  // delta_t = r + gamma * V(s') - V(s); terminal V(s') = 0.
+  EXPECT_NEAR(adv[0], 1.0 + 0.9 * 1.0 - 0.5, 1e-12);
+  EXPECT_NEAR(adv[1], 2.0 - 1.0, 1e-12);
+  EXPECT_NEAR(adv[2], 3.0 + 0.9 * 1.5 - 2.0, 1e-12);
+  EXPECT_NEAR(adv[4], 5.0 - 0.5, 1e-12);
+}
+
+TEST(GaeAdvantages, LambdaOneMatchesReturnsMinusValues) {
+  const RolloutBatch batch = two_episode_batch();
+  const std::vector<double> values{0.5, 1.0, 2.0, 1.5, 0.5};
+  const double gamma = 0.7;
+  const auto adv = gae_advantages(batch, values, gamma, 1.0);
+  const auto returns = discounted_returns(batch, gamma);
+  for (std::size_t i = 0; i < adv.size(); ++i) {
+    EXPECT_NEAR(adv[i], returns[i] - values[i], 1e-12) << i;
+  }
+}
+
+TEST(GaeAdvantages, BootstrapsTrailingOpenEpisode) {
+  RolloutBatch batch;
+  batch.transitions = {Transition{{0.0}, 0, 1.0, false}};
+  const auto adv =
+      gae_advantages(batch, {0.0}, 0.9, 0.95, /*last_value=*/10.0);
+  EXPECT_NEAR(adv[0], 1.0 + 0.9 * 10.0, 1e-12);
+}
+
+TEST(GaeAdvantages, ValidatesShapes) {
+  EXPECT_THROW(gae_advantages(two_episode_batch(), {1.0}, 0.9, 0.9),
+               std::invalid_argument);
+}
+
+TEST(Normalize, ZeroMeanUnitVariance) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  rl::normalize(xs);
+  double mean = 0.0, var = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(Normalize, ConstantInputUntouched) {
+  std::vector<double> xs{2.0, 2.0, 2.0};
+  rl::normalize(xs);
+  for (double x : xs) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(RunningNorm, TracksMeanAndStddev) {
+  rl::RunningNorm norm;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) norm.update(x);
+  EXPECT_NEAR(norm.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(norm.stddev(), 2.13808993, 1e-6);
+  EXPECT_NEAR(norm.normalize(5.0), 0.0, 1e-9);
+}
+
+TEST(RunningNorm, SafeBeforeTwoSamples) {
+  rl::RunningNorm norm;
+  EXPECT_DOUBLE_EQ(norm.stddev(), 1.0);  // no division blowups
+  norm.update(3.0);
+  EXPECT_DOUBLE_EQ(norm.stddev(), 1.0);
+}
+
+}  // namespace

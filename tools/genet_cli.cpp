@@ -1,0 +1,289 @@
+// genet — command-line frontend for the library.
+//
+//   genet train  --task abr --method genet --baseline mpc --iters 3000
+//                --seed 1 --out policy.model
+//   genet eval   --task abr --model policy.model --envs 100
+//   genet eval   --task cc  --model policy.model --trace-set cellular
+//   genet search --task abr --model policy.model --baseline mpc --trials 15
+//   genet trace  --kind abr --duration 200 --out link.trace
+//
+// `train` supports methods rl (traditional, Algorithm 1), genet
+// (Algorithm 2), cl1/cl2/cl3 (the alternative curricula of S5.5) and
+// ensemble (footnote 6). `eval` reports the greedy policy's mean reward on
+// synthetic environments or on one of the built-in trace sets. `search`
+// runs one round of the sequencing module and prints every BO trial.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/stats.hpp"
+#include "netgym/trace.hpp"
+#include "traces/tracesets.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage: genet <command> [options]
+
+commands:
+  train   --task abr|cc|lb [--space 1|2|3] [--method rl|genet|cl1|cl2|cl3|ensemble]
+          [--baseline NAME] [--iters N] [--rounds N] [--seed N] --out FILE
+  eval    --task abr|cc|lb [--space 1|2|3] --model FILE
+          [--envs N | --trace-set fcc|norway|cellular|ethernet [--split train|test]]
+  search  --task abr|cc|lb [--space 1|2|3] --model FILE [--baseline NAME]
+          [--trials N] [--seed N]
+  trace   --kind abr|cc|fcc|norway|cellular|ethernet [--duration S]
+          [--max-bw MBPS] [--index N] --out FILE
+)");
+  std::exit(2);
+}
+
+using Options = std::map<std::string, std::string>;
+
+void save_params(const std::string& path, const std::vector<double>& params) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.precision(17);
+  out << params.size() << "\n";
+  for (double p : params) out << p << "\n";
+}
+
+std::vector<double> load_params(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::size_t n = 0;
+  in >> n;
+  std::vector<double> params(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(in >> params[i])) {
+      throw std::runtime_error("truncated model file " + path);
+    }
+  }
+  return params;
+}
+
+Options parse(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --option");
+    const std::string key = argv[i] + 2;
+    if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+    options[key] = argv[++i];
+  }
+  return options;
+}
+
+std::string get(const Options& options, const std::string& key,
+                const std::string& fallback) {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+std::string require(const Options& options, const std::string& key) {
+  const auto it = options.find(key);
+  if (it == options.end()) usage(("--" + key + " is required").c_str());
+  return it->second;
+}
+
+std::unique_ptr<genet::TaskAdapter> adapter_for(const Options& options) {
+  const std::string task = require(options, "task");
+  const int space = std::stoi(get(options, "space", "3"));
+  if (task == "abr") return std::make_unique<genet::AbrAdapter>(space);
+  if (task == "cc") return std::make_unique<genet::CcAdapter>(space);
+  if (task == "lb") return std::make_unique<genet::LbAdapter>(space);
+  usage("unknown --task (want abr|cc|lb)");
+}
+
+std::string default_baseline(const genet::TaskAdapter& adapter) {
+  return adapter.baseline_names().front();
+}
+
+traces::TraceSet trace_set_for(const std::string& name) {
+  if (name == "fcc") return traces::TraceSet::kFcc;
+  if (name == "norway") return traces::TraceSet::kNorway;
+  if (name == "cellular") return traces::TraceSet::kCellular;
+  if (name == "ethernet") return traces::TraceSet::kEthernet;
+  usage("unknown trace set (want fcc|norway|cellular|ethernet)");
+}
+
+int cmd_train(const Options& options) {
+  auto adapter = adapter_for(options);
+  const std::string method = get(options, "method", "genet");
+  const std::string out = require(options, "out");
+  const auto seed = static_cast<std::uint64_t>(
+      std::stoull(get(options, "seed", "1")));
+  const int iters = std::stoi(get(options, "iters", "900"));
+  const int rounds = std::stoi(get(options, "rounds", "9"));
+  const std::string baseline =
+      get(options, "baseline", default_baseline(*adapter));
+
+  std::vector<double> params;
+  if (method == "rl") {
+    std::printf("traditional training: %d iterations (seed %llu)\n", iters,
+                static_cast<unsigned long long>(seed));
+    params = genet::train_traditional(*adapter, iters, seed)->snapshot();
+  } else {
+    genet::SearchOptions search;
+    genet::CurriculumOptions copt;
+    copt.rounds = rounds;
+    copt.iters_per_round = std::max(iters / rounds, 1);
+    copt.seed = seed;
+    std::unique_ptr<genet::CurriculumScheme> scheme;
+    if (method == "genet") {
+      scheme = std::make_unique<genet::GenetScheme>(baseline, search);
+    } else if (method == "ensemble") {
+      scheme = std::make_unique<genet::EnsembleGenetScheme>(
+          adapter->baseline_names(), search);
+    } else if (method == "cl1") {
+      const std::string dim =
+          adapter->name() == "lb" ? "queue_shuffle_prob"
+                                  : "bw_change_interval_s";
+      scheme = std::make_unique<genet::HandcraftedScheme>(
+          dim, /*hard_is_low=*/adapter->name() != "lb", rounds);
+    } else if (method == "cl2") {
+      scheme =
+          std::make_unique<genet::BaselinePerformanceScheme>(baseline, search);
+    } else if (method == "cl3") {
+      scheme = std::make_unique<genet::GapToOptimumScheme>(search);
+    } else {
+      usage("unknown --method");
+    }
+    std::printf("%s curriculum: %d rounds x %d iterations (seed %llu)\n",
+                method.c_str(), copt.rounds, copt.iters_per_round,
+                static_cast<unsigned long long>(seed));
+    genet::CurriculumTrainer trainer(*adapter, std::move(scheme), copt);
+    for (int r = 0; r < copt.rounds; ++r) {
+      const genet::CurriculumRound round = trainer.run_round();
+      std::printf("  round %d: train reward %.3f, selection score %.3f\n",
+                  round.round, round.train_reward, round.selection_score);
+    }
+    params = trainer.trainer().snapshot();
+  }
+
+  save_params(out, params);
+  std::printf("saved %zu parameters to %s\n", params.size(), out.c_str());
+  return 0;
+}
+
+int cmd_eval(const Options& options) {
+  auto adapter = adapter_for(options);
+  const std::string model = require(options, "model");
+  netgym::Rng init(0);
+  rl::TrainerOptions defaults;
+  rl::MlpPolicy policy(adapter->obs_size(), adapter->action_count(),
+                       defaults.hidden, init);
+  policy.restore(load_params(model));
+  policy.set_greedy(true);
+
+  if (options.count("trace-set") != 0U) {
+    const traces::TraceSet set = trace_set_for(require(options, "trace-set"));
+    const bool test = get(options, "split", "test") == "test";
+    const auto corpus = traces::make_corpus(set, test);
+    netgym::Rng rng(9);
+    const auto rewards =
+        genet::test_per_trace(*adapter, policy, corpus, rng);
+    std::printf("%zu traces from %s (%s split): mean reward %.4f "
+                "(min %.4f, median %.4f, max %.4f)\n",
+                corpus.size(), traces::info(set).name.c_str(),
+                test ? "test" : "train", netgym::mean(rewards),
+                netgym::min_of(rewards), netgym::median(rewards),
+                netgym::max_of(rewards));
+  } else {
+    const int envs = std::stoi(get(options, "envs", "100"));
+    netgym::ConfigDistribution dist(adapter->space());
+    netgym::Rng rng(77);
+    const double reward =
+        genet::test_on_distribution(*adapter, policy, dist, envs, rng);
+    std::printf("%d synthetic environments: mean reward %.4f\n", envs,
+                reward);
+  }
+  return 0;
+}
+
+int cmd_search(const Options& options) {
+  auto adapter = adapter_for(options);
+  const std::string model = require(options, "model");
+  const std::string baseline =
+      get(options, "baseline", default_baseline(*adapter));
+  const int trials = std::stoi(get(options, "trials", "15"));
+  const auto seed = static_cast<std::uint64_t>(
+      std::stoull(get(options, "seed", "1")));
+
+  netgym::Rng init(0);
+  rl::TrainerOptions defaults;
+  rl::MlpPolicy policy(adapter->obs_size(), adapter->action_count(),
+                       defaults.hidden, init);
+  policy.restore(load_params(model));
+  policy.set_greedy(true);
+
+  genet::SearchOptions search;
+  search.bo_trials = trials;
+  genet::GenetScheme scheme(baseline, search);
+  netgym::Rng rng(seed);
+  const auto selection = scheme.select(*adapter, policy, 0, rng);
+  std::printf("best gap-to-%s after %d BO trials: %.4f at\n",
+              baseline.c_str(), trials, selection.score);
+  const netgym::ConfigSpace& space = adapter->space();
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    std::printf("  %-24s = %.5g\n", space.param(d).name.c_str(),
+                selection.config.values[d]);
+  }
+  return 0;
+}
+
+int cmd_trace(const Options& options) {
+  const std::string kind = require(options, "kind");
+  const std::string out = require(options, "out");
+  netgym::Rng rng(static_cast<std::uint64_t>(
+      std::stoull(get(options, "seed", "1"))));
+  netgym::Trace trace;
+  if (kind == "abr") {
+    netgym::AbrTraceParams params;
+    params.duration_s = std::stod(get(options, "duration", "200"));
+    params.max_bw_mbps = std::stod(get(options, "max-bw", "5"));
+    params.min_bw_mbps = params.max_bw_mbps * 0.2;
+    trace = netgym::generate_abr_trace(params, rng);
+  } else if (kind == "cc") {
+    netgym::CcTraceParams params;
+    params.duration_s = std::stod(get(options, "duration", "30"));
+    params.max_bw_mbps = std::stod(get(options, "max-bw", "3.16"));
+    trace = netgym::generate_cc_trace(params, rng);
+  } else {
+    const traces::TraceSet set = trace_set_for(kind);
+    trace = traces::make_trace(set, /*test=*/false,
+                               std::stoi(get(options, "index", "0")));
+  }
+  netgym::save_trace(trace, out);
+  std::printf("wrote %zu samples (%.1f s, mean %.2f Mbps) to %s\n",
+              trace.size(), trace.duration_s(), trace.mean_bandwidth(),
+              out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Options options = parse(argc, argv, 2);
+  try {
+    if (command == "train") return cmd_train(options);
+    if (command == "eval") return cmd_eval(options);
+    if (command == "search") return cmd_search(options);
+    if (command == "trace") return cmd_trace(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage("unknown command");
+}
