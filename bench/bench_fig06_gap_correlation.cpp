@@ -36,19 +36,28 @@ void run_panel(const std::string& task, const std::string& baseline,
 
   const netgym::ConfigSpace sample_space =
       task == "cc" ? cc_fig6_space() : adapter->space();
+  // Pre-sample the configurations serially, then fan the per-config work
+  // (two gap estimates plus a fine-tuning run) across the thread pool; each
+  // config writes only its own slots, so the output is identical at any
+  // thread count.
   netgym::Rng rng(99);
-  std::vector<double> gaps, gaps_opt, improvements;
-  for (int c = 0; c < configs; ++c) {
-    const netgym::Config config = sample_space.sample(rng);
-    netgym::Rng g1 = rng.fork();
-    const double gap = genet::gap_to_baseline(*adapter, *policy, baseline,
-                                              config, 10, g1);
-    netgym::Rng g2 = rng.fork();
+  std::vector<netgym::Config> sampled;
+  for (int c = 0; c < configs; ++c) sampled.push_back(sample_space.sample(rng));
+  std::vector<double> gaps(configs), gaps_opt(configs), improvements(configs);
+  bench::parallel_sweep(configs, /*seed=*/606, [&](int c, netgym::Rng& crng) {
+    const netgym::Config& config = sampled[static_cast<std::size_t>(c)];
+    // Workers need their own policy instance: MlpPolicy::act mutates the
+    // net's forward cache.
+    auto local_policy = bench::make_policy(*adapter, snapshot);
+    netgym::Rng g1 = crng.fork();
+    const double gap = genet::gap_to_baseline(*adapter, *local_policy,
+                                              baseline, config, 10, g1);
+    netgym::Rng g2 = crng.fork();
     const double gap_opt =
-        genet::gap_to_optimum(*adapter, *policy, config, 5, g2);
+        genet::gap_to_optimum(*adapter, *local_policy, config, 5, g2);
     netgym::Rng e1(5050);
     const double before =
-        genet::test_on_config(*adapter, *policy, config, 10, e1);
+        genet::test_on_config(*adapter, *local_policy, config, 10, e1);
 
     auto trainer = adapter->make_trainer(1000 + c);
     trainer->restore(snapshot);
@@ -59,10 +68,10 @@ void run_panel(const std::string& task, const std::string& baseline,
     const double after =
         genet::test_on_config(*adapter, trainer->policy(), config, 10, e2);
 
-    gaps.push_back(gap);
-    gaps_opt.push_back(gap_opt);
-    improvements.push_back(after - before);
-  }
+    gaps[static_cast<std::size_t>(c)] = gap;
+    gaps_opt[static_cast<std::size_t>(c)] = gap_opt;
+    improvements[static_cast<std::size_t>(c)] = after - before;
+  });
 
   std::printf("\n(%s, %d configs, baseline %s)\n", task.c_str(), configs,
               baseline.c_str());

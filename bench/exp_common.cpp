@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "netgym/parallel.hpp"
+
 namespace bench {
 
 int traditional_iterations(const std::string& task) {
@@ -99,6 +101,18 @@ std::unique_ptr<rl::MlpPolicy> make_policy(const genet::TaskAdapter& adapter,
   policy->restore(params);
   policy->set_greedy(true);
   return policy;
+}
+
+void parallel_sweep(int n, std::uint64_t seed,
+                    const std::function<void(int, netgym::Rng&)>& body) {
+  if (n <= 0) return;
+  netgym::Rng root(seed);
+  std::vector<netgym::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) streams.push_back(root.fork());
+  netgym::parallel_for_each(static_cast<std::size_t>(n), [&](std::size_t i) {
+    body(static_cast<int>(i), streams[i]);
+  });
 }
 
 void print_header(const std::string& experiment, const std::string& claim) {

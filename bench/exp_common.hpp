@@ -68,6 +68,15 @@ std::vector<double> curriculum_params(
 std::unique_ptr<rl::MlpPolicy> make_policy(const genet::TaskAdapter& adapter,
                                            const std::vector<double>& params);
 
+/// Per-config sweep engine: runs `body(index, rng)` for every index in
+/// [0, n) across the global netgym thread pool. One RNG stream per index is
+/// forked serially from `seed` before any work starts, so results are
+/// bit-identical at any thread count; `body` must only write per-index
+/// state (its own result slots) and must build its own policies/trainers
+/// rather than sharing mutable ones across indices.
+void parallel_sweep(int n, std::uint64_t seed,
+                    const std::function<void(int, netgym::Rng&)>& body);
+
 /// Pretty-printing helpers: every harness leads with the experiment id and
 /// what the paper's version of the plot shows.
 void print_header(const std::string& experiment, const std::string& claim);

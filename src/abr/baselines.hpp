@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "abr/env.hpp"
 #include "netgym/env.hpp"
 
@@ -12,6 +14,9 @@ namespace abr {
 class BbaPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<BbaPolicy>(*this);
+  }
 };
 
 /// RobustMPC [57]: model-predictive control over a short lookahead horizon.
@@ -25,6 +30,9 @@ class RobustMpcPolicy : public netgym::Policy {
 
   void begin_episode() override;
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<RobustMpcPolicy>(*this);
+  }
 
  private:
   double predict_throughput_mbps(const netgym::Observation& obs);
@@ -42,6 +50,9 @@ class OboePolicy : public netgym::Policy {
  public:
   explicit OboePolicy(int horizon = 5);
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<OboePolicy>(*this);
+  }
 
  private:
   int horizon_;
@@ -54,6 +65,9 @@ class OboePolicy : public netgym::Policy {
 class NaiveAbrPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<NaiveAbrPolicy>(*this);
+  }
 };
 
 /// Fixed-bitrate policy (useful reference and test fixture).
@@ -61,6 +75,9 @@ class ConstantBitratePolicy : public netgym::Policy {
  public:
   explicit ConstantBitratePolicy(int bitrate_index);
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<ConstantBitratePolicy>(*this);
+  }
 
  private:
   int bitrate_index_;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "cc/env.hpp"
 #include "netgym/env.hpp"
 
@@ -41,6 +43,9 @@ class RateController : public netgym::Policy {
 class CubicPolicy : public RateController {
  public:
   void begin_episode() override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<CubicPolicy>(*this);
+  }
 
  protected:
   double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
@@ -64,6 +69,9 @@ class CubicPolicy : public RateController {
 class BbrPolicy : public RateController {
  public:
   void begin_episode() override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<BbrPolicy>(*this);
+  }
 
  protected:
   double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
@@ -90,6 +98,9 @@ class BbrPolicy : public RateController {
 class VivacePolicy : public RateController {
  public:
   void begin_episode() override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<VivacePolicy>(*this);
+  }
 
  protected:
   double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;
@@ -108,6 +119,9 @@ class VivacePolicy : public RateController {
 class CopaPolicy : public RateController {
  public:
   void begin_episode() override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<CopaPolicy>(*this);
+  }
 
  protected:
   double target_rate_pkts(const MiView& mi, netgym::Rng& rng) override;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 
 #include "abr/baselines.hpp"
+#include "netgym/parallel.hpp"
 #include "abr/env.hpp"
 #include "abr/optimal.hpp"
 #include "cc/baselines.hpp"
@@ -15,13 +17,13 @@
 
 namespace genet {
 
-namespace {
-
-/// Pick a trace from the corpus whose bandwidth statistics are compatible
-/// with the selected configuration's bandwidth range (S4.2's trace
-/// categorization); falls back to the closest trace by mean bandwidth.
 const netgym::Trace& matching_trace(const std::vector<netgym::Trace>& corpus,
                                     double max_bw_mbps, netgym::Rng& rng) {
+  if (corpus.empty()) {
+    // Without this guard the closest-trace fallback below would read
+    // corpus[0] of an empty vector.
+    throw std::invalid_argument("matching_trace: empty trace corpus");
+  }
   std::vector<std::size_t> candidates;
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const double mean = corpus[i].mean_bandwidth();
@@ -43,6 +45,50 @@ const netgym::Trace& matching_trace(const std::vector<netgym::Trace>& corpus,
     }
   }
   return corpus[best];
+}
+
+namespace {
+
+/// Shared engine of the evaluation helpers: serially pre-fork one RNG stream
+/// per work item, evaluate every item — in parallel when `parallel_ok` —
+/// and return per-item values in index order. Because each item consumes
+/// only its own stream, the serial and parallel paths produce bit-identical
+/// results.
+std::vector<double> forked_map(
+    int n, netgym::Rng& rng, bool parallel_ok,
+    const std::function<double(std::size_t, netgym::Rng&)>& item) {
+  std::vector<netgym::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) streams.push_back(rng.fork());
+  std::vector<double> values(static_cast<std::size_t>(n));
+  if (parallel_ok) {
+    netgym::parallel_for_each(values.size(), [&](std::size_t i) {
+      values[i] = item(i, streams[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = item(i, streams[i]);
+    }
+  }
+  return values;
+}
+
+double mean_of(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+/// Per-item view of a shared policy: workers use their own clone; policies
+/// that cannot be cloned fall back to the shared instance, which is safe
+/// because `forked_map` then runs serially.
+netgym::Policy& local_policy(const std::unique_ptr<netgym::Policy>& local,
+                             netgym::Policy& shared) {
+  return local ? *local : shared;
+}
+
+bool cloneable(const netgym::Policy& policy) {
+  return policy.clone() != nullptr;
 }
 
 }  // namespace
@@ -71,12 +117,13 @@ rl::EnvFactory TaskAdapter::factory_for(const netgym::Config& config) const {
 double test_on_config(const TaskAdapter& task, netgym::Policy& policy,
                       const netgym::Config& config, int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("test_on_config: n must be > 0");
-  double total = 0.0;
-  for (int i = 0; i < n; ++i) {
-    auto env = task.make_env(config, rng);
-    total += netgym::run_episode(*env, policy, rng).mean_reward;
-  }
-  return total / n;
+  return mean_of(forked_map(
+      n, rng, cloneable(policy), [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = policy.clone();
+        auto env = task.make_env(config, item_rng);
+        return netgym::run_episode(*env, local_policy(local, policy), item_rng)
+            .mean_reward;
+      }));
 }
 
 double test_on_distribution(const TaskAdapter& task, netgym::Policy& policy,
@@ -85,25 +132,27 @@ double test_on_distribution(const TaskAdapter& task, netgym::Policy& policy,
   if (n <= 0) {
     throw std::invalid_argument("test_on_distribution: n must be > 0");
   }
-  double total = 0.0;
-  for (int i = 0; i < n; ++i) {
-    auto env = task.make_env(dist.sample(rng), rng);
-    total += netgym::run_episode(*env, policy, rng).mean_reward;
-  }
-  return total / n;
+  return mean_of(forked_map(
+      n, rng, cloneable(policy), [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = policy.clone();
+        auto env = task.make_env(dist.sample(item_rng), item_rng);
+        return netgym::run_episode(*env, local_policy(local, policy), item_rng)
+            .mean_reward;
+      }));
 }
 
 std::vector<double> test_per_trace(const TaskAdapter& task,
                                    netgym::Policy& policy,
                                    const std::vector<netgym::Trace>& corpus,
                                    netgym::Rng& rng) {
-  std::vector<double> rewards;
-  rewards.reserve(corpus.size());
-  for (const netgym::Trace& trace : corpus) {
-    auto env = task.make_env_from_trace(trace, rng);
-    rewards.push_back(netgym::run_episode(*env, policy, rng).mean_reward);
-  }
-  return rewards;
+  return forked_map(
+      static_cast<int>(corpus.size()), rng, cloneable(policy),
+      [&](std::size_t i, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = policy.clone();
+        auto env = task.make_env_from_trace(corpus[i], item_rng);
+        return netgym::run_episode(*env, local_policy(local, policy), item_rng)
+            .mean_reward;
+      });
 }
 
 double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
@@ -111,54 +160,65 @@ double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
                        const netgym::Config& config, int n,
                        netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_baseline: n must be > 0");
-  double gap = 0.0;
-  for (int i = 0; i < n; ++i) {
-    // Both policies see the same environment instance (fresh copy each).
-    netgym::Rng env_rng = rng.fork();
-    netgym::Rng env_rng2 = env_rng;
-    auto env_rl = task.make_env(config, env_rng);
-    auto env_rule = task.make_env(config, env_rng2);
-    auto baseline = task.make_baseline(baseline_name, *env_rule);
-    const double r_rl =
-        netgym::run_episode(*env_rl, rl_policy, rng).mean_reward;
-    const double r_rule =
-        netgym::run_episode(*env_rule, *baseline, rng).mean_reward;
-    gap += r_rule - r_rl;
-  }
-  return gap / n;
+  return mean_of(forked_map(
+      n, rng, cloneable(rl_policy), [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
+        // Both policies see the same environment instance (fresh copy each).
+        netgym::Rng env_rng = item_rng.fork();
+        netgym::Rng env_rng2 = env_rng;
+        auto env_rl = task.make_env(config, env_rng);
+        auto env_rule = task.make_env(config, env_rng2);
+        auto baseline = task.make_baseline(baseline_name, *env_rule);
+        const double r_rl =
+            netgym::run_episode(*env_rl, local_policy(local, rl_policy),
+                                item_rng)
+                .mean_reward;
+        const double r_rule =
+            netgym::run_episode(*env_rule, *baseline, item_rng).mean_reward;
+        return r_rule - r_rl;
+      }));
 }
 
 double gap_to_optimum(const TaskAdapter& task, netgym::Policy& rl_policy,
                       const netgym::Config& config, int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_optimum: n must be > 0");
-  double gap = 0.0;
-  for (int i = 0; i < n; ++i) {
-    netgym::Rng env_rng = rng.fork();
-    netgym::Rng env_rng2 = env_rng;
-    auto env_rl = task.make_env(config, env_rng);
-    auto env_opt = task.make_env(config, env_rng2);
-    const double r_rl =
-        netgym::run_episode(*env_rl, rl_policy, rng).mean_reward;
-    const double r_opt = task.optimal_mean_reward(*env_opt, rng);
-    gap += r_opt - r_rl;
-  }
-  return gap / n;
+  return mean_of(forked_map(
+      n, rng, cloneable(rl_policy), [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
+        netgym::Rng env_rng = item_rng.fork();
+        netgym::Rng env_rng2 = env_rng;
+        auto env_rl = task.make_env(config, env_rng);
+        auto env_opt = task.make_env(config, env_rng2);
+        const double r_rl =
+            netgym::run_episode(*env_rl, local_policy(local, rl_policy),
+                                item_rng)
+                .mean_reward;
+        const double r_opt = task.optimal_mean_reward(*env_opt, item_rng);
+        return r_opt - r_rl;
+      }));
 }
 
 double gap_between(const TaskAdapter& task, netgym::Policy& policy,
                    netgym::Policy& reference, const netgym::Config& config,
                    int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_between: n must be > 0");
-  double gap = 0.0;
-  for (int i = 0; i < n; ++i) {
-    netgym::Rng env_rng = rng.fork();
-    netgym::Rng env_rng2 = env_rng;
-    auto env_policy = task.make_env(config, env_rng);
-    auto env_reference = task.make_env(config, env_rng2);
-    gap += netgym::run_episode(*env_reference, reference, rng).mean_reward -
-           netgym::run_episode(*env_policy, policy, rng).mean_reward;
-  }
-  return gap / n;
+  const bool parallel_ok = cloneable(policy) && cloneable(reference);
+  return mean_of(forked_map(
+      n, rng, parallel_ok, [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = policy.clone();
+        const std::unique_ptr<netgym::Policy> local_ref = reference.clone();
+        netgym::Rng env_rng = item_rng.fork();
+        netgym::Rng env_rng2 = env_rng;
+        auto env_policy = task.make_env(config, env_rng);
+        auto env_reference = task.make_env(config, env_rng2);
+        return netgym::run_episode(*env_reference,
+                                   local_policy(local_ref, reference),
+                                   item_rng)
+                   .mean_reward -
+               netgym::run_episode(*env_policy, local_policy(local, policy),
+                                   item_rng)
+                   .mean_reward;
+      }));
 }
 
 // ---------------------------------------------------------------------------

@@ -34,7 +34,11 @@ class AdversaryEnv : public netgym::Env {
  public:
   static constexpr int kObsSize = 6;
 
-  AdversaryEnv(rl::MlpPolicy& victim, const RobustifyOptions& options,
+  // The victim is copied, not referenced: envs are stepped concurrently by
+  // the parallel rollout engine and MlpPolicy::act mutates the net's forward
+  // cache. The victim's parameters are frozen while the adversary trains, so
+  // a per-env copy behaves identically to the shared original.
+  AdversaryEnv(const rl::MlpPolicy& victim, const RobustifyOptions& options,
                std::uint64_t seed)
       : victim_(victim),
         options_(options),
@@ -185,8 +189,8 @@ class AdversaryEnv : public netgym::Env {
     return obs;
   }
 
-  rl::MlpPolicy& victim_;
-  const RobustifyOptions& options_;
+  rl::MlpPolicy victim_;
+  const RobustifyOptions options_;
   abr::Video video_;
   std::uint64_t video_seed_;
   mutable netgym::Rng rng_;

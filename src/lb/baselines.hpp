@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "lb/env.hpp"
 #include "netgym/env.hpp"
 
@@ -10,6 +12,9 @@ namespace lb {
 class LlfPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<LlfPolicy>(*this);
+  }
 };
 
 /// Shortest-completion-first ("shortest-job-first" in S4.3): pick the server
@@ -18,12 +23,18 @@ class LlfPolicy : public netgym::Policy {
 class ShortestCompletionPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<ShortestCompletionPolicy>(*this);
+  }
 };
 
 /// Fewest outstanding requests (join-shortest-queue by count).
 class LeastRequestsPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<LeastRequestsPolicy>(*this);
+  }
 };
 
 /// Power-of-d-choices (JSQ(d)): sample d servers uniformly and assign to
@@ -33,6 +44,9 @@ class PowerOfTwoPolicy : public netgym::Policy {
  public:
   explicit PowerOfTwoPolicy(int d = 2);
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<PowerOfTwoPolicy>(*this);
+  }
 
  private:
   int d_;
@@ -42,6 +56,9 @@ class PowerOfTwoPolicy : public netgym::Policy {
 class RandomLbPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<RandomLbPolicy>(*this);
+  }
 };
 
 /// The deliberately unreasonable baseline of S5.4 ("choosing the highest
@@ -49,6 +66,9 @@ class RandomLbPolicy : public netgym::Policy {
 class NaiveLbPolicy : public netgym::Policy {
  public:
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<NaiveLbPolicy>(*this);
+  }
 };
 
 /// Omniscient baseline: reads the environment's true (unshuffled) state and

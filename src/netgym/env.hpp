@@ -50,6 +50,14 @@ class Policy {
   /// Choose an action for the given observation. `rng` supplies any sampling
   /// randomness (deterministic policies ignore it).
   virtual int act(const Observation& obs, Rng& rng) = 0;
+
+  /// Deep copy for parallel evaluation: workers hand each episode its own
+  /// clone so `act`'s internal state (an MLP's forward cache, MPC's error
+  /// tracker) is never shared across threads. Returns nullptr when the
+  /// policy cannot be copied (e.g. oracles bound to one environment), in
+  /// which case evaluation helpers fall back to a serial loop — with the
+  /// same per-item RNG streams, so results do not change.
+  virtual std::unique_ptr<Policy> clone() const { return nullptr; }
 };
 
 /// Outcome of rolling a policy through one episode.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "netgym/env.hpp"
@@ -22,6 +23,10 @@ class MlpPolicy : public netgym::Policy {
             netgym::Rng& rng);
 
   int act(const netgym::Observation& obs, netgym::Rng& rng) override;
+
+  std::unique_ptr<netgym::Policy> clone() const override {
+    return std::make_unique<MlpPolicy>(*this);
+  }
 
   /// Logits for an observation (runs a forward pass).
   std::vector<double> logits(const netgym::Observation& obs);

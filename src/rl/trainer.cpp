@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "netgym/parallel.hpp"
+
 namespace rl {
 
 namespace {
@@ -33,20 +35,43 @@ RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
   if (episodes <= 0) {
     throw std::invalid_argument("collect_batch: episodes must be > 0");
   }
+  // Determinism by construction: each episode gets its own RNG stream,
+  // forked serially up front, and its own copy of the policy (parameters are
+  // frozen during collection; only the forward cache is episode-local), so
+  // the thread schedule cannot change what any episode samples. Episodes are
+  // then concatenated in index order, making the batch bit-identical at any
+  // thread count.
+  std::vector<netgym::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(episodes));
+  for (int e = 0; e < episodes; ++e) streams.push_back(rng.fork());
+
+  std::vector<std::vector<Transition>> per_episode(
+      static_cast<std::size_t>(episodes));
+  netgym::parallel_for_each(
+      static_cast<std::size_t>(episodes), [&](std::size_t e) {
+        MlpPolicy local = policy;
+        netgym::Rng& ep_rng = streams[e];
+        std::unique_ptr<netgym::Env> env = factory(ep_rng);
+        local.begin_episode();
+        netgym::Observation obs = env->reset();
+        for (int s = 0; s < max_steps_per_episode; ++s) {
+          const int action = local.act(obs, ep_rng);
+          netgym::Env::StepResult result = env->step(action);
+          const bool last_step =
+              result.done || (s + 1 == max_steps_per_episode);
+          per_episode[e].push_back(
+              Transition{std::move(obs), action, result.reward, last_step});
+          if (result.done) break;
+          obs = std::move(result.observation);
+        }
+      });
+
   RolloutBatch batch;
-  for (int e = 0; e < episodes; ++e) {
-    std::unique_ptr<netgym::Env> env = factory(rng);
-    policy.begin_episode();
-    netgym::Observation obs = env->reset();
-    for (int s = 0; s < max_steps_per_episode; ++s) {
-      const int action = policy.act(obs, rng);
-      netgym::Env::StepResult result = env->step(action);
-      const bool last_step = result.done || (s + 1 == max_steps_per_episode);
-      batch.transitions.push_back(
-          Transition{std::move(obs), action, result.reward, last_step});
-      if (result.done) break;
-      obs = std::move(result.observation);
-    }
+  std::size_t total = 0;
+  for (const auto& episode : per_episode) total += episode.size();
+  batch.transitions.reserve(total);
+  for (auto& episode : per_episode) {
+    for (Transition& t : episode) batch.transitions.push_back(std::move(t));
   }
   return batch;
 }

@@ -216,6 +216,41 @@ TEST(TestPerTrace, ReturnsOneRewardPerTrace) {
   EXPECT_EQ(rewards.size(), 3u);
 }
 
+netgym::Trace flat_trace(double bw_mbps) {
+  netgym::Trace trace;
+  trace.timestamps_s = {0.0, 1.0, 2.0};
+  trace.bandwidth_mbps = {bw_mbps, bw_mbps, bw_mbps};
+  return trace;
+}
+
+TEST(MatchingTrace, ThrowsOnEmptyCorpus) {
+  const std::vector<netgym::Trace> empty;
+  Rng rng(1);
+  EXPECT_THROW(genet::matching_trace(empty, 5.0, rng),
+               std::invalid_argument);
+}
+
+TEST(MatchingTrace, PicksACompatibleTraceWhenOneExists) {
+  // Compatible means mean bandwidth within [0.02 * max_bw, max_bw]; only the
+  // 3 Mbps trace qualifies for max_bw = 5.
+  const std::vector<netgym::Trace> corpus{flat_trace(50.0), flat_trace(3.0),
+                                          flat_trace(0.01)};
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const netgym::Trace& picked = genet::matching_trace(corpus, 5.0, rng);
+    EXPECT_DOUBLE_EQ(picked.mean_bandwidth(), 3.0);
+  }
+}
+
+TEST(MatchingTrace, FallsBackToClosestMeanBandwidth) {
+  // No trace fits inside the window for max_bw = 5; the closest by mean
+  // bandwidth (20 vs 40) must be returned rather than reading out of bounds.
+  const std::vector<netgym::Trace> corpus{flat_trace(40.0), flat_trace(20.0)};
+  Rng rng(3);
+  const netgym::Trace& picked = genet::matching_trace(corpus, 5.0, rng);
+  EXPECT_DOUBLE_EQ(picked.mean_bandwidth(), 20.0);
+}
+
 TEST(ConfigNonSmoothness, HigherForFasterChangingBandwidth) {
   AbrAdapter adapter(3);
   Rng rng(6);

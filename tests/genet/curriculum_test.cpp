@@ -226,7 +226,7 @@ TEST(GapBetween, DetectsABetterReference) {
 
 TEST(TrainTraditional, ImprovesLbPolicyOverRandomInit) {
   LbAdapter adapter(1);
-  auto trainer = genet::train_traditional(adapter, /*iterations=*/180, 3);
+  auto trainer = genet::train_traditional(adapter, /*iterations=*/300, 3);
   // Evaluate greedy policy vs an untrained one on the same envs.
   auto fresh = adapter.make_trainer(1234);
   trainer->policy().set_greedy(true);

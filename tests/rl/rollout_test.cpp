@@ -88,6 +88,16 @@ TEST(GaeAdvantages, BootstrapsTrailingOpenEpisode) {
   EXPECT_NEAR(adv[0], 1.0 + 0.9 * 10.0, 1e-12);
 }
 
+TEST(GaeAdvantages, SingleTerminalStepBatch) {
+  // Smallest possible batch: one transition that ends its episode. The
+  // advantage is just the TD error with a zero terminal value.
+  RolloutBatch batch;
+  batch.transitions = {Transition{{0.0}, 0, 3.0, true}};
+  const auto adv = gae_advantages(batch, {0.5}, 0.9, 0.95);
+  ASSERT_EQ(adv.size(), 1u);
+  EXPECT_NEAR(adv[0], 3.0 - 0.5, 1e-12);
+}
+
 TEST(GaeAdvantages, ValidatesShapes) {
   EXPECT_THROW(gae_advantages(two_episode_batch(), {1.0}, 0.9, 0.9),
                std::invalid_argument);
@@ -111,6 +121,23 @@ TEST(Normalize, ConstantInputUntouched) {
   for (double x : xs) EXPECT_DOUBLE_EQ(x, 2.0);
 }
 
+TEST(Normalize, SingleElementUntouched) {
+  // A one-element batch has no variance; standardizing it must be a no-op
+  // rather than dividing by a zero stddev.
+  std::vector<double> xs{7.0};
+  rl::normalize(xs);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 7.0);
+}
+
+TEST(DiscountedReturns, SingleElementBatch) {
+  RolloutBatch batch;
+  batch.transitions = {Transition{{0.0}, 0, 4.0, false}};  // trailing open ep
+  const auto returns = discounted_returns(batch, 0.9);
+  ASSERT_EQ(returns.size(), 1u);
+  EXPECT_DOUBLE_EQ(returns[0], 4.0);
+}
+
 TEST(RunningNorm, TracksMeanAndStddev) {
   rl::RunningNorm norm;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) norm.update(x);
@@ -124,6 +151,13 @@ TEST(RunningNorm, SafeBeforeTwoSamples) {
   EXPECT_DOUBLE_EQ(norm.stddev(), 1.0);  // no division blowups
   norm.update(3.0);
   EXPECT_DOUBLE_EQ(norm.stddev(), 1.0);
+}
+
+TEST(RunningNorm, SingleSampleNormalizesAgainstUnitStddev) {
+  rl::RunningNorm norm;
+  norm.update(3.0);
+  EXPECT_DOUBLE_EQ(norm.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(norm.normalize(5.0), 2.0);  // (x - mean) / 1.0
 }
 
 }  // namespace

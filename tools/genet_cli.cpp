@@ -25,6 +25,7 @@
 
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
+#include "netgym/parallel.hpp"
 #include "netgym/stats.hpp"
 #include "netgym/trace.hpp"
 #include "traces/tracesets.hpp"
@@ -44,6 +45,11 @@ commands:
           [--trials N] [--seed N]
   trace   --kind abr|cc|fcc|norway|cellular|ethernet [--duration S]
           [--max-bw MBPS] [--index N] --out FILE
+
+every command also accepts:
+  --threads N   worker threads for rollouts and evaluations (default: the
+                GENET_THREADS env var, else all hardware threads; results
+                are identical at any thread count)
 )");
   std::exit(2);
 }
@@ -277,6 +283,21 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Options options = parse(argc, argv, 2);
   try {
+    if (options.count("threads") != 0U) {
+      const std::string& value = options.at("threads");
+      std::size_t parsed = 0;
+      int threads = 0;
+      try {
+        threads = std::stoi(value, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != value.size() || value.empty()) {
+        throw std::invalid_argument("--threads expects an integer, got '" +
+                                    value + "'");
+      }
+      netgym::set_num_threads(threads);
+    }
     if (command == "train") return cmd_train(options);
     if (command == "eval") return cmd_eval(options);
     if (command == "search") return cmd_search(options);
