@@ -52,7 +52,8 @@ std::vector<double> curriculum_curve(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 18 + Figure 22 - training curves of curriculum strategies "
       "(ABR)",

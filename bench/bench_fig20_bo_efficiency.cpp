@@ -67,7 +67,8 @@ void run_panel(const std::string& task, const std::string& baseline,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "Figure 20 - search efficiency of the sequencing module",
       "within ~15 BO steps the search matches what random exploration needs "

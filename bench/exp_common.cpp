@@ -1,9 +1,12 @@
 #include "exp_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "netgym/parallel.hpp"
+#include "netgym/telemetry.hpp"
 
 namespace bench {
 
@@ -115,7 +118,22 @@ void parallel_sweep(int n, std::uint64_t seed,
   });
 }
 
+void parse_common_flags(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      netgym::set_num_threads(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--log-file") == 0) {
+      netgym::telemetry::open_global_logger(argv[i + 1]);
+      ++i;
+    }
+  }
+}
+
 void print_header(const std::string& experiment, const std::string& claim) {
+  netgym::telemetry::open_global_logger_from_env();
+  netgym::telemetry::log_event("run_start", 0,
+                               {{"experiment", experiment}, {"claim", claim}});
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("paper: %s\n", claim.c_str());

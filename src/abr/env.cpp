@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netgym/telemetry.hpp"
+
 namespace abr {
 
 namespace {
@@ -101,6 +103,10 @@ double AbrEnv::download_time_s(double bits, double start_s) const {
 }
 
 netgym::Observation AbrEnv::reset() {
+  // Cheap run telemetry: one relaxed atomic add per episode/step, no RNG.
+  static netgym::telemetry::Counter& episodes =
+      netgym::telemetry::Registry::instance().counter("abr.episodes");
+  episodes.add();
   clock_s_ = 0.0;
   buffer_s_ = 0.0;
   next_chunk_ = 0;
@@ -144,6 +150,9 @@ AbrEnv::ChunkOutcome AbrEnv::chunk_transition(double clock_s, double buffer_s,
 
 netgym::Env::StepResult AbrEnv::step(int action) {
   if (done_) throw std::logic_error("AbrEnv::step: episode already finished");
+  static netgym::telemetry::Counter& steps =
+      netgym::telemetry::Registry::instance().counter("abr.env_steps");
+  steps.add();
   const ChunkOutcome out = chunk_transition(clock_s_, buffer_s_, last_bitrate_,
                                             started_, next_chunk_, action);
   clock_s_ = out.clock_s;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netgym/telemetry.hpp"
+
 namespace bo {
 
 namespace {
@@ -79,6 +81,18 @@ std::vector<double> BayesianOptimizer::propose() {
 void BayesianOptimizer::update(const std::vector<double>& x, double value) {
   Maximizer::update(x, value);
   gp_dirty_ = true;
+
+  // Telemetry: one "bo_trial" event per proposal/observation pair (Fig. 20's
+  // best-gap-vs-samples data). Emitted on the proposing thread after all RNG
+  // use, so the sink cannot change what the search explores.
+  namespace tel = netgym::telemetry;
+  tel::Registry::instance().counter("bo.trials").add();
+  if (tel::logging_enabled()) {
+    tel::log_event("bo_trial", num_evaluations() - 1,
+                   {{"point", x},
+                    {"value", value},
+                    {"best_value", best_value()}});
+  }
 }
 
 RandomSearch::RandomSearch(int dims, std::uint64_t seed)

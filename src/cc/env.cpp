@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netgym/telemetry.hpp"
+
 namespace cc {
 
 namespace {
@@ -92,6 +94,10 @@ double CcEnv::current_rtt_s() const {
 }
 
 netgym::Observation CcEnv::reset() {
+  // Cheap run telemetry: one relaxed atomic add per episode/step, no RNG.
+  static netgym::telemetry::Counter& episodes =
+      netgym::telemetry::Registry::instance().counter("cc.episodes");
+  episodes.add();
   clock_s_ = 0.0;
   queue_pkts_ = 0.0;
   done_ = false;
@@ -149,6 +155,9 @@ CcEnv::MiStats CcEnv::simulate_interval(double duration_s) {
 
 netgym::Env::StepResult CcEnv::step(int action) {
   if (done_) throw std::logic_error("CcEnv::step: episode already finished");
+  static netgym::telemetry::Counter& steps =
+      netgym::telemetry::Registry::instance().counter("cc.env_steps");
+  steps.add();
   if (action < 0 || action >= kRateActionCount) {
     throw std::invalid_argument("CcEnv::step: action out of range");
   }

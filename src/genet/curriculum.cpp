@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netgym/telemetry.hpp"
+
 namespace genet {
 
 namespace {
@@ -107,16 +109,24 @@ CurriculumScheme::Selection HandcraftedScheme::select(const TaskAdapter& task,
                                                       int round,
                                                       netgym::Rng&) {
   const netgym::ConfigSpace& space = task.space();
-  netgym::Config config = space.midpoint();
   const std::size_t dim = space.index_of(dimension_);
-  const netgym::ParamSpec& spec = space.param(dim);
-  // Progress 0 -> 1 over the rounds, from the easy end to the hard end.
+  // Progress 0 -> 1 over the rounds, from the easy end to the hard end; the
+  // final round always lands exactly on the hard end (a one-round schedule
+  // goes straight there).
   const double progress =
-      std::min(static_cast<double>(round) / (total_rounds_ - 1 + 1e-9), 1.0);
-  config.values[dim] = hard_is_low_
-                           ? spec.hi + progress * (spec.lo - spec.hi)
-                           : spec.lo + progress * (spec.hi - spec.lo);
-  return {space.clamp(config), progress};
+      total_rounds_ <= 1
+          ? 1.0
+          : std::clamp(static_cast<double>(round) /
+                           static_cast<double>(total_rounds_ - 1),
+                       0.0, 1.0);
+  // Interpolate in the *normalized* unit cube, not in raw parameter space:
+  // denormalize applies each dimension's log scaling and integer rounding, so
+  // log-scale dims (e.g. max_bw_mbps, 2-1000) progress uniformly in log space
+  // instead of being absurdly front-loaded, and the non-swept dims sit at the
+  // true center (0.5) of the normalized box.
+  std::vector<double> unit(space.dims(), 0.5);
+  unit[dim] = hard_is_low_ ? 1.0 - progress : progress;
+  return {space.denormalize(unit), progress};
 }
 
 BaselinePerformanceScheme::BaselinePerformanceScheme(std::string baseline_name,
@@ -206,6 +216,22 @@ CurriculumRound CurriculumTrainer::run_round() {
   // Step 3 (line 13): promote the chosen configuration.
   dist_.promote(record.promoted, options_.promote_weight);
   ++round_;
+
+  // Telemetry: one "round" event per curriculum round (the raw material of
+  // Fig. 18-style training curves), emitted after all stochastic work so the
+  // sink cannot perturb results.
+  namespace tel = netgym::telemetry;
+  tel::Registry::instance().counter("genet.rounds").add();
+  tel::Registry::instance().gauge("genet.train_reward")
+      .set(record.train_reward);
+  if (tel::logging_enabled()) {
+    tel::log_event("round", record.round,
+                   {{"scheme", scheme_->name()},
+                    {"train_reward", record.train_reward},
+                    {"selection_score", record.selection_score},
+                    {"promoted", record.promoted.values},
+                    {"uniform_weight", dist_.uniform_weight()}});
+  }
   return record;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "netgym/telemetry.hpp"
+
 namespace lb {
 
 namespace {
@@ -93,6 +95,10 @@ void LbEnv::draw_job() {
 }
 
 netgym::Observation LbEnv::reset() {
+  // Cheap run telemetry: one relaxed atomic add per episode/step, no RNG.
+  static netgym::telemetry::Counter& episodes =
+      netgym::telemetry::Registry::instance().counter("lb.episodes");
+  episodes.add();
   work_s_.assign(kNumServers, 0.0);
   jobs_.assign(kNumServers, 0);
   jobs_done_ = 0;
@@ -104,6 +110,9 @@ netgym::Observation LbEnv::reset() {
 
 netgym::Env::StepResult LbEnv::step(int action) {
   if (done_) throw std::logic_error("LbEnv::step: episode already finished");
+  static netgym::telemetry::Counter& steps =
+      netgym::telemetry::Registry::instance().counter("lb.env_steps");
+  steps.add();
   if (action < 0 || action >= kNumServers) {
     throw std::invalid_argument("LbEnv::step: server index out of range");
   }

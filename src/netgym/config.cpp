@@ -75,15 +75,11 @@ Config ConfigSpace::sample(Rng& rng) const {
 }
 
 Config ConfigSpace::midpoint() const {
-  Config c;
-  c.values.reserve(params_.size());
-  for (const auto& p : params_) {
-    double v = p.log_scale ? std::sqrt(p.lo * p.hi)  // geometric midpoint
-                           : 0.5 * (p.lo + p.hi);
-    if (p.integer) v = std::round(v);
-    c.values.push_back(v);
-  }
-  return c;
+  // Defined as the center of the *normalized* box so every caller (the
+  // handcrafted curriculum's non-swept dims, eval harnesses) agrees with
+  // normalize/denormalize: geometric center for log-scale dims, arithmetic
+  // otherwise, with integer rounding applied.
+  return denormalize(std::vector<double>(params_.size(), 0.5));
 }
 
 std::vector<double> ConfigSpace::normalize(const Config& c) const {

@@ -57,7 +57,9 @@ class ConfigSpace {
   /// Uniform sample over the box.
   Config sample(Rng& rng) const;
 
-  /// Config with every dimension at the midpoint of its range.
+  /// Config at the center of the normalized box (`denormalize` of 0.5 in
+  /// every dimension): the geometric midpoint for log-scale dims, the
+  /// arithmetic midpoint otherwise, rounded for integer dims.
   Config midpoint() const;
 
   /// Map a config to the unit cube [0,1]^d (degenerate dims map to 0.5).

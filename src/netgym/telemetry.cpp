@@ -1,0 +1,229 @@
+#include "netgym/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netgym::telemetry {
+
+namespace {
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Append a double as a JSON number; non-finite values become null (JSON has
+/// no NaN/Infinity literals, and a half-written log must stay parseable).
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_value(std::string& out, const FieldValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
+    out += buf;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    append_json_double(out, *d);
+  } else if (const auto* s = std::get_if<std::string>(&value)) {
+    append_json_string(out, *s);
+  } else {
+    const auto& vec = std::get<std::vector<double>>(value);
+    out.push_back('[');
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_json_double(out, vec[i]);
+    }
+    out.push_back(']');
+  }
+}
+
+std::mutex g_logger_mu;
+std::shared_ptr<RunLogger> g_logger;
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+TimerStat& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<TimerStat>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<Registry::Entry> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size() + gauges_.size() + timers_.size());
+  for (const auto& [name, c] : counters_) {
+    entries.push_back({name, Kind::kCounter,
+                       static_cast<double>(c->value()), 0});
+  }
+  for (const auto& [name, g] : gauges_) {
+    entries.push_back({name, Kind::kGauge, g->value(), 0});
+  }
+  for (const auto& [name, t] : timers_) {
+    entries.push_back({name, Kind::kTimer, t->total_seconds(), t->count()});
+  }
+  // The three maps are each sorted; a full sort keeps the merged snapshot
+  // name-ordered regardless of kind.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return entries;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+RunLogger::RunLogger(std::string path) : path_(std::move(path)) {
+  out_ = std::fopen(path_.c_str(), "w");
+  if (out_ == nullptr) {
+    throw std::runtime_error("RunLogger: cannot open log file " + path_);
+  }
+}
+
+RunLogger::~RunLogger() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void RunLogger::event(std::string_view type, std::int64_t step,
+                      const Field* begin, const Field* end) {
+  std::string line;
+  line.reserve(128);
+  line += "{\"type\":";
+  append_json_string(line, type);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"step\":%" PRId64, step);
+  line += buf;
+  const auto ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  for (const Field* f = begin; f != end; ++f) {
+    line.push_back(',');
+    append_json_string(line, f->first);
+    line.push_back(':');
+    append_json_value(line, f->second);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t seq = events_.fetch_add(1, std::memory_order_relaxed);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"seq\":%" PRIu64 ",\"ts_ms\":%" PRId64 "}\n", seq,
+                  static_cast<std::int64_t>(ts_ms));
+    line += buf;
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);  // crash-safe: at most the in-flight line is lost
+  }
+}
+
+void set_global_logger(std::shared_ptr<RunLogger> logger) {
+  std::lock_guard<std::mutex> lock(g_logger_mu);
+  g_logger = std::move(logger);
+}
+
+void open_global_logger(const std::string& path) {
+  set_global_logger(std::make_shared<RunLogger>(path));
+}
+
+bool open_global_logger_from_env() {
+  {
+    std::lock_guard<std::mutex> lock(g_logger_mu);
+    if (g_logger != nullptr) return true;
+  }
+  const char* path = std::getenv("GENET_LOG");
+  if (path == nullptr || path[0] == '\0') return false;
+  open_global_logger(path);
+  return true;
+}
+
+std::shared_ptr<RunLogger> global_logger() {
+  std::lock_guard<std::mutex> lock(g_logger_mu);
+  return g_logger;
+}
+
+bool logging_enabled() {
+  std::lock_guard<std::mutex> lock(g_logger_mu);
+  return g_logger != nullptr;
+}
+
+void log_event(std::string_view type, std::int64_t step,
+               std::initializer_list<Field> fields) {
+  if (auto logger = global_logger()) logger->event(type, step, fields);
+}
+
+void log_event(std::string_view type, std::int64_t step,
+               const std::vector<Field>& fields) {
+  if (auto logger = global_logger()) logger->event(type, step, fields);
+}
+
+}  // namespace netgym::telemetry

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace netgym::telemetry {
+
+// Run telemetry: a process-wide registry of named counters/gauges/timers plus
+// a structured JSONL event sink (RunLogger). Every layer of the stack emits
+// through here -- per-iteration training stats, per-round curriculum records,
+// per-trial BO proposals, and cheap environment step/episode counters -- so a
+// training or bench run leaves a machine-readable trajectory behind.
+//
+// Determinism contract (DESIGN.md, "Run telemetry"): telemetry NEVER draws
+// from an netgym::Rng, never reorders or skips work, and metric updates are
+// single relaxed atomic operations, so enabling or disabling it cannot change
+// any simulated or trained number, at any thread count. Structured events are
+// only emitted from serial sections (post-update trainer code, curriculum
+// rounds, BO updates on the proposing thread), while the hot-path counters
+// are safe to bump from pool workers.
+
+/// Monotonic event count (env steps, episodes, BO trials, ...).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (current reward, entropy coefficient...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated wall-clock time of a named code region.
+class TimerStat {
+ public:
+  void record_ns(std::int64_t ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> total_ns_{0};
+};
+
+/// RAII wall-clock timer: records the elapsed time into a TimerStat on
+/// destruction. `seconds_so_far()` reads the running value without stopping.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat)
+      : stat_(stat), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    stat_.record_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double seconds_so_far() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  TimerStat& stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide metric registry. Lookup creates the metric on first use and
+/// returns a reference that stays valid for the process lifetime (metrics are
+/// heap-allocated and never erased; `reset_all` only zeroes values), so hot
+/// paths can cache `Counter&` in a function-local static and pay one relaxed
+/// atomic add per event afterwards.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimerStat& timer(std::string_view name);
+
+  enum class Kind { kCounter, kGauge, kTimer };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;        ///< count / gauge value / total seconds
+    std::int64_t count = 0;    ///< timer invocation count (0 otherwise)
+  };
+
+  /// Consistent name-sorted snapshot of every registered metric.
+  std::vector<Entry> snapshot() const;
+
+  /// Zero every metric; references handed out earlier stay valid.
+  void reset_all();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
+};
+
+/// One key/value pair of a structured event. Doubles that are not finite are
+/// serialized as JSON null.
+using FieldValue =
+    std::variant<std::int64_t, double, std::string, std::vector<double>>;
+using Field = std::pair<std::string, FieldValue>;
+
+/// Structured JSONL event sink. Every event becomes one line
+///   {"type":"...","step":N,"seq":K,"ts_ms":...,<fields...>}
+/// written and flushed under a mutex, so concurrent emitters interleave at
+/// line granularity and a crash loses at most the line being written.
+class RunLogger {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit RunLogger(std::string path);
+  ~RunLogger();
+
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  void event(std::string_view type, std::int64_t step,
+             std::initializer_list<Field> fields) {
+    event(type, step, fields.begin(), fields.end());
+  }
+  void event(std::string_view type, std::int64_t step,
+             const std::vector<Field>& fields) {
+    event(type, step, fields.data(), fields.data() + fields.size());
+  }
+
+  const std::string& path() const { return path_; }
+  std::uint64_t events_written() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void event(std::string_view type, std::int64_t step, const Field* begin,
+             const Field* end);
+
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+// Global sink management. When no logger is installed (the default) every
+// log_event call is a cheap no-op, so instrumented code needs no flags.
+
+/// Install `logger` as the process-wide sink (nullptr uninstalls).
+void set_global_logger(std::shared_ptr<RunLogger> logger);
+
+/// Open `path` and install it as the global sink; throws on I/O failure.
+void open_global_logger(const std::string& path);
+
+/// Install a sink from the GENET_LOG environment variable if it is set and
+/// no sink is installed yet. Returns true if a logger is installed after the
+/// call.
+bool open_global_logger_from_env();
+
+/// Currently installed sink (may be null).
+std::shared_ptr<RunLogger> global_logger();
+
+/// Emit an event through the global sink; no-op when none is installed.
+void log_event(std::string_view type, std::int64_t step,
+               std::initializer_list<Field> fields);
+void log_event(std::string_view type, std::int64_t step,
+               const std::vector<Field>& fields);
+
+/// True when a global sink is installed (lets callers skip building field
+/// vectors for dropped events).
+bool logging_enabled();
+
+}  // namespace netgym::telemetry

@@ -1,11 +1,13 @@
 #include "rl/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
 #include "netgym/parallel.hpp"
+#include "netgym/telemetry.hpp"
 
 namespace rl {
 
@@ -94,6 +96,59 @@ double ActorCriticBase::critic_value(const netgym::Observation& obs) {
   return critic_.forward(obs)[0];
 }
 
+RolloutBatch ActorCriticBase::collect_timed(const EnvFactory& factory,
+                                            IterationStats& stats) {
+  const auto start = std::chrono::steady_clock::now();
+  RolloutBatch batch =
+      collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
+                    options_.max_steps_per_episode);
+  stats.rollout_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return batch;
+}
+
+IterationStats ActorCriticBase::train_iteration(const EnvFactory& factory) {
+  namespace tel = netgym::telemetry;
+  const auto start = std::chrono::steady_clock::now();
+  IterationStats stats = run_iteration(factory);
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stats.update_seconds = std::max(total - stats.rollout_seconds, 0.0);
+
+  // Registry metrics are cached once: lookups lock the registry, updates are
+  // single relaxed atomics.
+  static tel::Counter& iterations =
+      tel::Registry::instance().counter("rl.iterations");
+  static tel::Counter& env_steps =
+      tel::Registry::instance().counter("rl.env_steps");
+  static tel::TimerStat& rollout_timer =
+      tel::Registry::instance().timer("rl.rollout");
+  static tel::TimerStat& update_timer =
+      tel::Registry::instance().timer("rl.update");
+  iterations.add();
+  env_steps.add(stats.steps);
+  rollout_timer.record_ns(
+      static_cast<std::int64_t>(stats.rollout_seconds * 1e9));
+  update_timer.record_ns(
+      static_cast<std::int64_t>(stats.update_seconds * 1e9));
+
+  if (tel::logging_enabled()) {
+    tel::log_event(
+        "iteration", iteration_count_,
+        {{"mean_episode_reward", stats.mean_episode_reward},
+         {"mean_step_reward", stats.mean_step_reward},
+         {"mean_entropy", stats.mean_entropy},
+         {"episodes", static_cast<std::int64_t>(stats.episodes)},
+         {"steps", static_cast<std::int64_t>(stats.steps)},
+         {"rollout_seconds", stats.rollout_seconds},
+         {"update_seconds", stats.update_seconds}});
+  }
+  ++iteration_count_;
+  return stats;
+}
+
 double ActorCriticBase::next_entropy_coef() {
   const long t = iterations_done_++;
   if (options_.entropy_decay_iters <= 0) return options_.entropy_coef_final;
@@ -103,11 +158,9 @@ double ActorCriticBase::next_entropy_coef() {
          progress * (options_.entropy_coef_final - options_.entropy_coef);
 }
 
-IterationStats A2CTrainer::train_iteration(const EnvFactory& factory) {
-  RolloutBatch batch =
-      collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
-                    options_.max_steps_per_episode);
+IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
   IterationStats stats;
+  RolloutBatch batch = collect_timed(factory, stats);
   stats.episodes = batch.num_episodes();
   stats.steps = static_cast<int>(batch.size());
   stats.mean_episode_reward = batch.mean_episode_reward();
@@ -171,11 +224,9 @@ IterationStats A2CTrainer::train_iteration(const EnvFactory& factory) {
   return stats;
 }
 
-IterationStats PPOTrainer::train_iteration(const EnvFactory& factory) {
-  RolloutBatch batch =
-      collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
-                    options_.max_steps_per_episode);
+IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
   IterationStats stats;
+  RolloutBatch batch = collect_timed(factory, stats);
   stats.episodes = batch.num_episodes();
   stats.steps = static_cast<int>(batch.size());
   stats.mean_episode_reward = batch.mean_episode_reward();

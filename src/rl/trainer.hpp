@@ -47,6 +47,8 @@ struct IterationStats {
   double mean_entropy = 0.0;
   int episodes = 0;
   int steps = 0;
+  double rollout_seconds = 0.0;  ///< wall clock spent collecting the batch
+  double update_seconds = 0.0;   ///< wall clock spent in gradient updates
 };
 
 /// Roll the (stochastic) policy through `episodes` fresh environments drawn
@@ -64,8 +66,13 @@ class ActorCriticBase {
                   std::uint64_t seed);
   virtual ~ActorCriticBase() = default;
 
-  /// Run one training iteration (collect + update) on envs from `factory`.
-  virtual IterationStats train_iteration(const EnvFactory& factory) = 0;
+  /// Run one training iteration (collect + update) on envs from `factory`,
+  /// then publish run telemetry: registry counters/timers (`rl.iterations`,
+  /// `rl.env_steps`, `rl.rollout`, `rl.update`) and an "iteration" event on
+  /// the global RunLogger, if one is installed. Telemetry is observational
+  /// only -- it consumes no RNG draws and runs after the update -- so the
+  /// trained parameters are bit-identical with and without a sink.
+  IterationStats train_iteration(const EnvFactory& factory);
 
   MlpPolicy& policy() { return policy_; }
   const MlpPolicy& policy() const { return policy_; }
@@ -75,6 +82,14 @@ class ActorCriticBase {
   void restore(const std::vector<double>& params) { policy_.restore(params); }
 
  protected:
+  /// Algorithm-specific collect + update step; implementations fill the
+  /// reward/entropy/size fields of the returned stats and time the rollout
+  /// phase via `collect_timed`. `train_iteration` wraps this with telemetry.
+  virtual IterationStats run_iteration(const EnvFactory& factory) = 0;
+
+  /// `collect_batch` plus wall-clock accounting into `stats.rollout_seconds`.
+  RolloutBatch collect_timed(const EnvFactory& factory, IterationStats& stats);
+
   /// Scale factor applied to rewards before returns/advantages: the running
   /// standard deviation of observed episode-discounted returns.
   double reward_scale() const { return return_norm_.stddev(); }
@@ -93,7 +108,8 @@ class ActorCriticBase {
   nn::Adam actor_opt_;
   nn::Adam critic_opt_;
   RunningNorm return_norm_;
-  long iterations_done_ = 0;
+  long iterations_done_ = 0;    ///< entropy-decay clock (non-empty batches)
+  long iteration_count_ = 0;    ///< train_iteration calls (telemetry step)
 };
 
 /// Advantage actor-critic (the paper's Pensieve/Park codebases use A3C; A2C
@@ -101,7 +117,9 @@ class ActorCriticBase {
 class A2CTrainer : public ActorCriticBase {
  public:
   using ActorCriticBase::ActorCriticBase;
-  IterationStats train_iteration(const EnvFactory& factory) override;
+
+ protected:
+  IterationStats run_iteration(const EnvFactory& factory) override;
 };
 
 /// Proximal Policy Optimization with clipped surrogate objective and GAE
@@ -109,7 +127,9 @@ class A2CTrainer : public ActorCriticBase {
 class PPOTrainer : public ActorCriticBase {
  public:
   using ActorCriticBase::ActorCriticBase;
-  IterationStats train_iteration(const EnvFactory& factory) override;
+
+ protected:
+  IterationStats run_iteration(const EnvFactory& factory) override;
 };
 
 }  // namespace rl

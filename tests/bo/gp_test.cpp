@@ -29,6 +29,69 @@ TEST(GaussianProcess, PriorBeforeFit) {
   EXPECT_GT(p.variance, 0.0);
 }
 
+TEST(GaussianProcess, PriorIsExplicitZeroMeanWithSignalVariance) {
+  // predict() before fit() must return the documented prior -- zero mean and
+  // the kernel's signal variance -- and stay finite everywhere in the cube.
+  GaussianProcess::Options opts;
+  opts.signal_variance = 2.5;
+  GaussianProcess gp(opts);
+  for (double x : {0.0, 0.25, 0.75, 1.0}) {
+    const auto p = gp.predict({x, 1.0 - x});
+    EXPECT_DOUBLE_EQ(p.mean, 0.0) << x;
+    EXPECT_DOUBLE_EQ(p.variance, 2.5) << x;
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.variance));
+  }
+}
+
+TEST(GaussianProcess, ExactDuplicatesWithZeroNoiseHitTheJitterPath) {
+  // With noise_variance = 0 and identical inputs the kernel matrix is
+  // singular; the 1e-12 Cholesky jitter must keep the factorization and the
+  // posterior finite, with the mean at the shared target.
+  GaussianProcess::Options opts;
+  opts.noise_variance = 0.0;
+  GaussianProcess gp(opts);
+  gp.fit({{0.4, 0.6}, {0.4, 0.6}, {0.4, 0.6}}, {1.0, 1.0, 1.0});
+  for (const auto& x :
+       {std::vector<double>{0.4, 0.6}, std::vector<double>{0.9, 0.1}}) {
+    const auto p = gp.predict(x);
+    EXPECT_TRUE(std::isfinite(p.mean));
+    EXPECT_TRUE(std::isfinite(p.variance));
+    EXPECT_GE(p.variance, 0.0);
+  }
+  EXPECT_NEAR(gp.predict({0.4, 0.6}).mean, 1.0, 1e-6);
+}
+
+TEST(GaussianProcess, NearDuplicatePointsStayFinite) {
+  // Two points 1e-13 apart are numerically identical for the RBF kernel;
+  // the jitter path must absorb the resulting near-singular matrix even
+  // with conflicting targets.
+  GaussianProcess::Options opts;
+  opts.noise_variance = 0.0;
+  GaussianProcess gp(opts);
+  gp.fit({{0.5}, {0.5 + 1e-13}, {0.2}}, {1.0, 3.0, -1.0});
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const auto p = gp.predict({x});
+    EXPECT_TRUE(std::isfinite(p.mean)) << x;
+    EXPECT_TRUE(std::isfinite(p.variance)) << x;
+    EXPECT_GE(p.variance, 0.0) << x;
+  }
+  // Far from every observation the posterior relaxes toward the prior.
+  const auto far = gp.predict({0.999});
+  EXPECT_GT(far.variance, gp.predict({0.2}).variance);
+}
+
+TEST(GaussianProcess, ConstantTargetsDegenerateStandardizationStaysFinite) {
+  // Identical targets make the target variance 0 (clamped to 1e-12); the
+  // posterior must stay finite and reproduce the constant.
+  GaussianProcess gp;
+  gp.fit({{0.1}, {0.5}, {0.9}}, {4.0, 4.0, 4.0});
+  const auto p = gp.predict({0.3});
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_TRUE(std::isfinite(p.variance));
+  EXPECT_NEAR(p.mean, 4.0, 1e-3);
+}
+
 TEST(GaussianProcess, InterpolatesTrainingPoints) {
   GaussianProcess::Options opts;
   opts.noise_variance = 1e-6;

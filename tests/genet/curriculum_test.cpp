@@ -103,6 +103,64 @@ TEST(HandcraftedScheme, HardIsLowReversesDirection) {
   EXPECT_NEAR(last.values[dim], adapter.space().param(dim).lo, 1e-9);
 }
 
+TEST(HandcraftedScheme, LogScaleDimProgressesUniformlyInNormalizedSpace) {
+  // Regression: the schedule used to interpolate in *raw* parameter space,
+  // which front-loads log-scale dims absurdly (job_interval_s 0.01-1 spent
+  // its first half of rounds above the geometric midpoint). The walk must be
+  // uniform in the normalized (log) box and hit the hard end exactly at the
+  // final round.
+  genet::LbAdapter adapter(3);  // job_interval_s is log-scale 0.01..1
+  const netgym::ConfigSpace& space = adapter.space();
+  const std::size_t dim = space.index_of("job_interval_s");
+  const int rounds = 5;
+  genet::HandcraftedScheme scheme("job_interval_s", /*hard_is_low=*/true,
+                                  rounds);
+  Rng rng(1);
+  netgym::Rng policy_rng(1);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+  for (int round = 0; round < rounds; ++round) {
+    const auto selection = scheme.select(adapter, dummy, round, rng);
+    const double expected_unit =
+        1.0 - static_cast<double>(round) / (rounds - 1);
+    EXPECT_NEAR(space.normalize(selection.config)[dim], expected_unit, 1e-9)
+        << "round " << round;
+    // Non-swept dims sit at the center of the normalized box (integer dims
+    // within rounding distance of it).
+    const auto unit = space.normalize(selection.config);
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      if (d == dim) continue;
+      EXPECT_NEAR(unit[d], 0.5, space.param(d).integer ? 0.01 : 1e-9)
+          << space.param(d).name;
+    }
+  }
+  const auto last = scheme.select(adapter, dummy, rounds - 1, rng);
+  EXPECT_DOUBLE_EQ(last.config.values[dim], space.param(dim).lo);
+  EXPECT_DOUBLE_EQ(last.score, 1.0);
+}
+
+TEST(HandcraftedScheme, SingleRoundScheduleLandsOnTheHardEnd) {
+  // Regression: total_rounds == 1 used to stay at progress 0 (the easy end).
+  LbAdapter adapter = small_lb();
+  const netgym::ConfigSpace& space = adapter.space();
+  Rng rng(1);
+  netgym::Rng policy_rng(1);
+  rl::MlpPolicy dummy(adapter.obs_size(), adapter.action_count(), {4},
+                      policy_rng);
+
+  genet::HandcraftedScheme hard_high("queue_shuffle_prob",
+                                     /*hard_is_low=*/false, 1);
+  const auto sel_high = hard_high.select(adapter, dummy, 0, rng);
+  const std::size_t shuffle = space.index_of("queue_shuffle_prob");
+  EXPECT_DOUBLE_EQ(sel_high.config.values[shuffle], space.param(shuffle).hi);
+  EXPECT_DOUBLE_EQ(sel_high.score, 1.0);
+
+  genet::HandcraftedScheme hard_low("job_interval_s", /*hard_is_low=*/true, 1);
+  const auto sel_low = hard_low.select(adapter, dummy, 0, rng);
+  const std::size_t interval = space.index_of("job_interval_s");
+  EXPECT_DOUBLE_EQ(sel_low.config.values[interval], space.param(interval).lo);
+}
+
 TEST(Schemes, AllReturnConfigsInsideTheSpace) {
   LbAdapter adapter = small_lb();
   Rng rng(3);

@@ -6,11 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "netgym/parallel.hpp"
+#include "netgym/telemetry.hpp"
 #include "rl/trainer.hpp"
 
 namespace {
@@ -113,6 +117,66 @@ TEST(ParallelDeterminism, TrainingIsBitIdenticalAcrossThreadCounts) {
   for (std::size_t i = 1; i < params.size(); ++i) {
     EXPECT_EQ(params[i], params[0]) << kThreadCounts[i] << " threads";
   }
+}
+
+std::vector<double> run_two_round_curriculum() {
+  LbAdapter adapter(1);
+  genet::SearchOptions search;
+  search.bo_trials = 4;
+  search.envs_per_eval = 2;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 2;
+  options.seed = 11;
+  genet::CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  trainer.run();
+  return trainer.trainer().snapshot();
+}
+
+TEST(ParallelDeterminism, TelemetryOnAndOffAreBitIdenticalAcrossThreads) {
+  // Enabling the JSONL sink must not consume RNG streams or reorder work:
+  // a 2-round curriculum run yields bit-identical parameters with telemetry
+  // off and on, at 1 and 8 threads -- and the log it writes is parseable
+  // JSONL carrying iteration, round, and BO-trial events.
+  PoolGuard guard;
+  const std::string path =
+      ::testing::TempDir() + "determinism_telemetry.jsonl";
+
+  netgym::set_num_threads(1);
+  const std::vector<double> baseline = run_two_round_curriculum();
+
+  std::vector<std::string> log_lines;
+  for (int threads : {1, 8}) {
+    netgym::set_num_threads(threads);
+    netgym::telemetry::open_global_logger(path);
+    const std::vector<double> with_telemetry = run_two_round_curriculum();
+    netgym::telemetry::set_global_logger(nullptr);
+    EXPECT_EQ(with_telemetry, baseline) << threads << " threads";
+
+    log_lines.clear();
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) log_lines.push_back(line);
+  }
+  std::remove(path.c_str());
+
+  // The trajectory of the last (8-thread) run: 2 rounds x 2 iterations and
+  // 2 rounds x 4 BO trials, each event a one-line JSON object.
+  int iterations = 0, rounds = 0, bo_trials = 0;
+  for (const std::string& line : log_lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"step\":"), std::string::npos) << line;
+    if (line.find("\"type\":\"iteration\"") != std::string::npos) ++iterations;
+    if (line.find("\"type\":\"round\"") != std::string::npos) ++rounds;
+    if (line.find("\"type\":\"bo_trial\"") != std::string::npos) ++bo_trials;
+  }
+  EXPECT_EQ(iterations, 4);
+  EXPECT_EQ(rounds, 2);
+  EXPECT_EQ(bo_trials, 8);
 }
 
 TEST(ParallelDeterminism, NonCloneablePoliciesStillEvaluateDeterministically) {

@@ -48,6 +48,35 @@ TEST(ConfigSpace, MidpointIsCentered) {
   EXPECT_EQ(mid.values[2], 26.0);
 }
 
+TEST(ConfigSpace, MidpointIsGeometricForLogScaleDims) {
+  // A log-scale dim's midpoint is the geometric center (the point that
+  // normalizes to 0.5), not the arithmetic one; integer log dims round it.
+  const ConfigSpace space(
+      {ParamSpec{"bw", 2.0, 1000.0, /*integer=*/false, /*log_scale=*/true},
+       ParamSpec{"jobs", 10.0, 1000.0, /*integer=*/true, /*log_scale=*/true}});
+  const Config mid = space.midpoint();
+  EXPECT_NEAR(mid.values[0], std::sqrt(2.0 * 1000.0), 1e-9);
+  EXPECT_EQ(mid.values[1], 100.0);
+  EXPECT_NEAR(space.normalize(mid)[0], 0.5, 1e-12);
+}
+
+TEST(ConfigSpace, MidpointMatchesDenormalizeOfCenter) {
+  // midpoint() and denormalize(0.5^d) must be the same point, so schedule
+  // code interpolating in normalized space agrees with midpoint-based code.
+  const ConfigSpace space(
+      {ParamSpec{"lin", 1.0, 9.0},
+       ParamSpec{"log", 0.01, 1.0, false, true},
+       ParamSpec{"int", 2.0, 50.0, true},
+       ParamSpec{"fixed", 5.0, 5.0}});
+  const Config mid = space.midpoint();
+  const Config center = space.denormalize({0.5, 0.5, 0.5, 0.5});
+  ASSERT_EQ(mid.values.size(), center.values.size());
+  for (std::size_t d = 0; d < mid.values.size(); ++d) {
+    EXPECT_DOUBLE_EQ(mid.values[d], center.values[d]) << "dim " << d;
+  }
+  EXPECT_DOUBLE_EQ(mid.values[3], 5.0);  // degenerate dim pins to its value
+}
+
 TEST(ConfigSpace, NormalizeDenormalizeRoundTrips) {
   const ConfigSpace space = demo_space();
   Rng rng(3);

@@ -1,0 +1,220 @@
+#include "netgym/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netgym/parallel.hpp"
+
+namespace {
+
+namespace tel = netgym::telemetry;
+
+/// Removes the file and uninstalls the global logger when a test exits.
+struct LogFileGuard {
+  explicit LogFileGuard(std::string p) : path(std::move(p)) {}
+  ~LogFileGuard() {
+    tel::set_global_logger(nullptr);
+    std::remove(path.c_str());
+  }
+  std::string path;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Minimal structural JSON check: object braces balance outside strings and
+/// the line ends exactly where the object does.
+bool looks_like_json_object(const std::string& line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth == 0 && c == '}') return i + 1 == line.size();
+      if (depth < 0) return false;
+    }
+  }
+  return false;
+}
+
+TEST(Registry, CountersGaugesAndTimersAccumulate) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  EXPECT_EQ(reg.counter("test.counter").value(), 42);
+
+  reg.gauge("test.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("test.gauge").value(), 2.5);
+
+  tel::TimerStat& t = reg.timer("test.timer");
+  t.record_ns(1'500'000'000);
+  t.record_ns(500'000'000);
+  EXPECT_EQ(t.count(), 2);
+  EXPECT_NEAR(t.total_seconds(), 2.0, 1e-9);
+}
+
+TEST(Registry, SnapshotIsNameSortedAndResetZeroesWithoutInvalidating) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Counter& c = reg.counter("snap.b");
+  reg.gauge("snap.a").set(1.0);
+  c.add(7);
+
+  const auto entries = reg.snapshot();
+  ASSERT_GE(entries.size(), 2u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].name, entries[i].name);
+  }
+
+  reg.reset_all();
+  EXPECT_EQ(c.value(), 0);  // reference from before reset still valid
+  c.add(3);
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(Registry, CounterIsExactUnderConcurrentIncrements) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Counter& c = reg.counter("concurrent.counter");
+  netgym::set_num_threads(8);
+  netgym::parallel_for_each(64, [&](std::size_t) {
+    for (int i = 0; i < 1000; ++i) c.add();
+  });
+  netgym::set_num_threads(0);
+  EXPECT_EQ(c.value(), 64'000);
+}
+
+TEST(ScopedTimer, RecordsNonNegativeElapsedTime) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::TimerStat& stat = reg.timer("scoped.timer");
+  {
+    tel::ScopedTimer timer(stat);
+    EXPECT_GE(timer.seconds_so_far(), 0.0);
+  }
+  EXPECT_EQ(stat.count(), 1);
+  EXPECT_GE(stat.total_seconds(), 0.0);
+}
+
+TEST(RunLogger, WritesOneParseableJsonLinePerEvent) {
+  const std::string path =
+      ::testing::TempDir() + "telemetry_runlogger_test.jsonl";
+  LogFileGuard guard(path);
+  {
+    tel::RunLogger logger(path);
+    logger.event("alpha", 0,
+                 {{"reward", 1.5},
+                  {"steps", std::int64_t{400}},
+                  {"name", std::string("abr")},
+                  {"config", std::vector<double>{1.0, 2.5, 3.0}}});
+    logger.event("beta", 1, {{"value", -0.25}});
+    EXPECT_EQ(logger.events_written(), 2u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(looks_like_json_object(line)) << line;
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"type\":\"alpha\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"config\":[1,2.5,3]"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"beta\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seq\":1"), std::string::npos);
+}
+
+TEST(RunLogger, EscapesStringsAndMapsNonFiniteToNull) {
+  const std::string path =
+      ::testing::TempDir() + "telemetry_escape_test.jsonl";
+  LogFileGuard guard(path);
+  {
+    tel::RunLogger logger(path);
+    logger.event("weird", 0,
+                 {{"text", std::string("a\"b\\c\nd\te")},
+                  {"nan", std::nan("")},
+                  {"inf", std::numeric_limits<double>::infinity()}});
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(looks_like_json_object(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"inf\":null"), std::string::npos);
+}
+
+TEST(RunLogger, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(tel::RunLogger("/nonexistent-dir/telemetry.jsonl"),
+               std::runtime_error);
+}
+
+TEST(GlobalLogger, LogEventIsNoOpWithoutSinkAndRoutesWithOne) {
+  const std::string path =
+      ::testing::TempDir() + "telemetry_global_test.jsonl";
+  LogFileGuard guard(path);
+  tel::set_global_logger(nullptr);
+  EXPECT_FALSE(tel::logging_enabled());
+  tel::log_event("dropped", 0, {{"x", 1.0}});  // must not crash
+
+  tel::open_global_logger(path);
+  EXPECT_TRUE(tel::logging_enabled());
+  tel::log_event("kept", 7, {{"x", 1.0}});
+  tel::set_global_logger(nullptr);
+  EXPECT_FALSE(tel::logging_enabled());
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"kept\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"step\":7"), std::string::npos);
+}
+
+TEST(GlobalLogger, ConcurrentEventsInterleaveAtLineGranularity) {
+  const std::string path =
+      ::testing::TempDir() + "telemetry_concurrent_test.jsonl";
+  LogFileGuard guard(path);
+  tel::open_global_logger(path);
+  netgym::set_num_threads(8);
+  netgym::parallel_for_each(32, [&](std::size_t i) {
+    tel::log_event("burst", static_cast<std::int64_t>(i),
+                   {{"payload", std::string(64, 'x')}});
+  });
+  netgym::set_num_threads(0);
+  tel::set_global_logger(nullptr);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 32u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(looks_like_json_object(line)) << line;
+  }
+}
+
+}  // namespace

@@ -27,6 +27,7 @@
 #include "genet/curriculum.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/stats.hpp"
+#include "netgym/telemetry.hpp"
 #include "netgym/trace.hpp"
 #include "traces/tracesets.hpp"
 
@@ -47,9 +48,12 @@ commands:
           [--max-bw MBPS] [--index N] --out FILE
 
 every command also accepts:
-  --threads N   worker threads for rollouts and evaluations (default: the
-                GENET_THREADS env var, else all hardware threads; results
-                are identical at any thread count)
+  --threads N    worker threads for rollouts and evaluations (default: the
+                 GENET_THREADS env var, else all hardware threads; results
+                 are identical at any thread count)
+  --log-file F   write a JSONL run-telemetry trajectory (per-iteration,
+                 per-round, and per-BO-trial events) to F; defaults to the
+                 GENET_LOG env var when set. Telemetry never changes results.
 )");
   std::exit(2);
 }
@@ -298,10 +302,36 @@ int main(int argc, char** argv) {
       }
       netgym::set_num_threads(threads);
     }
-    if (command == "train") return cmd_train(options);
-    if (command == "eval") return cmd_eval(options);
-    if (command == "search") return cmd_search(options);
-    if (command == "trace") return cmd_trace(options);
+    if (options.count("log-file") != 0U) {
+      netgym::telemetry::open_global_logger(options.at("log-file"));
+    } else {
+      netgym::telemetry::open_global_logger_from_env();  // GENET_LOG
+    }
+    if (netgym::telemetry::logging_enabled()) {
+      std::vector<netgym::telemetry::Field> fields;
+      fields.emplace_back("command", command);
+      for (const auto& [key, value] : options) fields.emplace_back(key, value);
+      netgym::telemetry::log_event("run_start", 0, fields);
+    }
+    int rc = -1;
+    if (command == "train") rc = cmd_train(options);
+    else if (command == "eval") rc = cmd_eval(options);
+    else if (command == "search") rc = cmd_search(options);
+    else if (command == "trace") rc = cmd_trace(options);
+    if (rc >= 0) {
+      if (netgym::telemetry::logging_enabled()) {
+        // Close the trajectory with the final metric totals (env steps,
+        // episodes, rollout/update wall clock, ...).
+        std::vector<netgym::telemetry::Field> fields;
+        fields.emplace_back("exit_code", static_cast<std::int64_t>(rc));
+        for (const auto& entry :
+             netgym::telemetry::Registry::instance().snapshot()) {
+          fields.emplace_back(entry.name, entry.value);
+        }
+        netgym::telemetry::log_event("run_end", 0, fields);
+      }
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
