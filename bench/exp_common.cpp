@@ -5,8 +5,10 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "netgym/flight.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
+#include "netgym/tracing.hpp"
 
 namespace bench {
 
@@ -126,12 +128,20 @@ void parse_common_flags(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--log-file") == 0) {
       netgym::telemetry::open_global_logger(argv[i + 1]);
       ++i;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      netgym::tracing::install(argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--flight-out") == 0) {
+      netgym::flight::install(argv[i + 1]);
+      ++i;
     }
   }
 }
 
 void print_header(const std::string& experiment, const std::string& claim) {
   netgym::telemetry::open_global_logger_from_env();
+  netgym::tracing::install_from_env();
+  netgym::flight::install_from_env();
   netgym::telemetry::log_event("run_start", 0,
                                {{"experiment", experiment}, {"claim", claim}});
   std::printf("================================================================\n");

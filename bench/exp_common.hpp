@@ -78,8 +78,10 @@ void parallel_sweep(int n, std::uint64_t seed,
                     const std::function<void(int, netgym::Rng&)>& body);
 
 /// Common command-line controls for the experiment harnesses:
-///   --threads N    resize the global rollout/evaluation pool
-///   --log-file F   write the run's JSONL telemetry trajectory to F
+///   --threads N     resize the global rollout/evaluation pool
+///   --log-file F    write the run's JSONL telemetry trajectory to F
+///   --trace-out F   write a Chrome trace-event JSON span timeline to F
+///   --flight-out F  dump the worst-k episode flight recordings to F (JSONL)
 /// Unrecognized arguments are ignored so harnesses stay free to add their
 /// own. Call from main() before any work starts.
 void parse_common_flags(int argc, char** argv);
@@ -87,8 +89,9 @@ void parse_common_flags(int argc, char** argv);
 /// Pretty-printing helpers: every harness leads with the experiment id and
 /// what the paper's version of the plot shows. `print_header` also installs
 /// a JSONL telemetry sink from the GENET_LOG environment variable (unless a
-/// sink is already installed, e.g. via --log-file) and emits a "run_start"
-/// event, so *every* bench can write a machine-readable trajectory.
+/// sink is already installed, e.g. via --log-file), honours GENET_TRACE /
+/// GENET_FLIGHT the same way, and emits a "run_start" event, so *every*
+/// bench can write a machine-readable trajectory.
 void print_header(const std::string& experiment, const std::string& claim);
 void print_row(const std::string& label, const std::vector<double>& values,
                int width = 10, int precision = 3);

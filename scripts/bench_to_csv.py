@@ -57,6 +57,44 @@ def table_rows(block):
     return rows
 
 
+METRICS_HEADER = re.compile(r"^metric\s+kind\s+count\s+value\s+p50\s+p90\s+p99\s+max$")
+METRICS_COLUMNS = ["metric", "kind", "count", "value", "p50", "p90", "p99", "max"]
+METRIC_KINDS = {"counter", "gauge", "timer", "histogram"}
+
+
+def metrics_rows(block):
+    """Extract an embedded metrics table (the `--metrics-out -` dump) as CSV
+    rows, histogram percentile fields included; returns (rows, other_lines).
+
+    Metric names never contain spaces, so rows split on single whitespace:
+    counters/gauges have (name, kind, value), timers (name, kind, count,
+    seconds), histograms all eight columns.
+    """
+    rows = []
+    rest = []
+    in_table = False
+    for line in block:
+        stripped = line.strip()
+        if METRICS_HEADER.match(stripped):
+            in_table = True
+            rows.append(METRICS_COLUMNS)
+            continue
+        if in_table:
+            cells = stripped.split()
+            if len(cells) >= 3 and cells[1] in METRIC_KINDS:
+                kind = cells[1]
+                if kind in ("counter", "gauge"):
+                    rows.append([cells[0], kind, "", cells[2], "", "", "", ""])
+                elif kind == "timer":
+                    rows.append(cells[:4] + ["", "", "", ""])
+                else:
+                    rows.append(cells[:8])
+                continue
+            in_table = False
+        rest.append(line)
+    return rows, rest
+
+
 def main() -> int:
     src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
@@ -65,6 +103,13 @@ def main() -> int:
     os.makedirs(out_dir, exist_ok=True)
     count = 0
     for title, block in split_experiments(lines):
+        mrows, block = metrics_rows(block)
+        if len(mrows) > 1:
+            path = os.path.join(out_dir, slugify(title) + "_metrics.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                for cells in mrows:
+                    out.write(",".join(cells) + "\n")
+            count += 1
         rows = table_rows(block)
         if not rows:
             continue

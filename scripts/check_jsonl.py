@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Validate a JSONL file: every line must be a standalone JSON object.
+
+Used by the CI observability smoke job (and the ctest CLI smoke tests) on the
+run-telemetry log (--log-file) and the flight-recorder dump (--flight-out).
+Any extra arguments are key names that every object must contain. The file
+must hold at least one object -- an empty log means the producer silently
+wrote nothing, which is exactly the regression this check exists to catch.
+
+Usage:
+    python3 scripts/check_jsonl.py FILE [required_key ...]
+
+Exit status 0 on success; 1 with a diagnostic on the first offending line.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    required = sys.argv[2:]
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                print(f"{path}:{lineno}: blank line", file=sys.stderr)
+                return 1
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"{path}:{lineno}: invalid JSON: {err}", file=sys.stderr)
+                return 1
+            if not isinstance(obj, dict):
+                print(f"{path}:{lineno}: not a JSON object", file=sys.stderr)
+                return 1
+            missing = [key for key in required if key not in obj]
+            if missing:
+                print(
+                    f"{path}:{lineno}: missing key(s): {', '.join(missing)}",
+                    file=sys.stderr,
+                )
+                return 1
+            count += 1
+    if count == 0:
+        print(f"{path}: no objects found", file=sys.stderr)
+        return 1
+    print(f"{path}: {count} JSON objects OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by netgym::tracing.
+
+Checks that the file is one JSON document with a `traceEvents` list, that
+every "X" (complete) event carries a name and numeric ts/dur, and -- when span
+names are given -- that a time-containment chain exists through those names in
+order (e.g. some `bo_trial` span inside a `round` span, some `eval` span
+inside that `bo_trial`, ...). That is the nesting Perfetto will render, so
+this is the scriptable version of eyeballing the trace.
+
+Usage:
+    python3 scripts/check_trace.py FILE [outer_span inner_span ...]
+
+Exit status 0 on success; 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+# Timestamps are microseconds with nanosecond precision; absorb only the
+# text round-trip.
+EPS_US = 1e-3
+
+
+def contained_in(child, parent) -> bool:
+    return (
+        child["ts"] >= parent["ts"] - EPS_US
+        and child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + EPS_US
+    )
+
+
+def chain_exists(spans_by_name, names, parent=None) -> bool:
+    """True when a containment chain names[0] > names[1] > ... exists
+    (each inside `parent`, when given)."""
+    if not names:
+        return True
+    for span in spans_by_name.get(names[0], []):
+        if parent is not None and not contained_in(span, parent):
+            continue
+        if chain_exists(spans_by_name, names[1:], span):
+            return True
+    return False
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    chain = sys.argv[2:]
+
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            print(f"{path}: invalid JSON: {err}", file=sys.stderr)
+            return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"{path}: no traceEvents list", file=sys.stderr)
+        return 1
+
+    spans_by_name = {}
+    span_count = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            print(f"{path}: event {i} has no phase", file=sys.stderr)
+            return 1
+        if event["ph"] != "X":
+            continue
+        if not isinstance(event.get("name"), str) or not all(
+            isinstance(event.get(k), (int, float)) for k in ("ts", "dur")
+        ):
+            print(f"{path}: malformed span event {i}: {event}", file=sys.stderr)
+            return 1
+        spans_by_name.setdefault(event["name"], []).append(event)
+        span_count += 1
+    if span_count == 0:
+        print(f"{path}: no span events", file=sys.stderr)
+        return 1
+
+    for name in chain:
+        if name not in spans_by_name:
+            print(f"{path}: no span named '{name}'", file=sys.stderr)
+            return 1
+    if chain and not chain_exists(spans_by_name, chain):
+        print(
+            f"{path}: no containment chain {' > '.join(chain)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    suffix = f", chain {' > '.join(chain)} OK" if chain else ""
+    print(f"{path}: {span_count} spans OK{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

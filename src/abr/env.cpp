@@ -107,6 +107,7 @@ netgym::Observation AbrEnv::reset() {
   static netgym::telemetry::Counter& episodes =
       netgym::telemetry::Registry::instance().counter("abr.episodes");
   episodes.add();
+  flight_ = netgym::flight::begin_episode("abr", {"buffer_s", "rebuffer_s"});
   clock_s_ = 0.0;
   buffer_s_ = 0.0;
   next_chunk_ = 0;
@@ -173,6 +174,18 @@ netgym::Env::StepResult AbrEnv::step(int action) {
   started_ = true;
   ++next_chunk_;
   done_ = next_chunk_ >= video_.num_chunks();
+
+  if (flight_ != nullptr) {
+    flight_->add(action, reward, {buffer_s_, out.rebuffer_s});
+  }
+  if (done_) {
+    // Episode stall time distribution behind the paper's tail metrics.
+    static netgym::telemetry::Histogram& stall =
+        netgym::telemetry::Registry::instance().histogram(
+            "abr.episode_rebuffer_s");
+    stall.record(totals_.rebuffer_s_sum);
+    netgym::flight::submit(std::move(flight_));
+  }
 
   StepResult result;
   result.reward = reward;

@@ -5,6 +5,7 @@
 #include "abr/video.hpp"
 #include "netgym/config.hpp"
 #include "netgym/env.hpp"
+#include "netgym/flight.hpp"
 #include "netgym/trace.hpp"
 
 namespace abr {
@@ -152,6 +153,7 @@ class AbrEnv : public netgym::Env {
   std::vector<double> throughput_hist_mbps_;
   std::vector<double> delay_hist_s_;
   Totals totals_;
+  std::unique_ptr<netgym::flight::EpisodeCapture> flight_;
 };
 
 /// Synthesize the trace for `config` (Appendix A.2 generator) and build an

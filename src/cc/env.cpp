@@ -98,6 +98,8 @@ netgym::Observation CcEnv::reset() {
   static netgym::telemetry::Counter& episodes =
       netgym::telemetry::Registry::instance().counter("cc.episodes");
   episodes.add();
+  flight_ = netgym::flight::begin_episode(
+      "cc", {"queue_delay_s", "rate_pkts_per_s"});
   clock_s_ = 0.0;
   queue_pkts_ = 0.0;
   done_ = false;
@@ -188,6 +190,19 @@ netgym::Env::StepResult CcEnv::step(int action) {
                         config_.reward.c_loss * loss;
 
   done_ = clock_s_ >= config_.duration_s;
+
+  // Per-MI queueing delay (measured latency minus propagation): the
+  // env-internal distribution behind the paper's latency tails.
+  const double queue_delay_s =
+      std::max(stats.avg_latency_s - config_.min_rtt_ms / 1000.0, 0.0);
+  static netgym::telemetry::Histogram& queue_delay =
+      netgym::telemetry::Registry::instance().histogram("cc.queue_delay_s");
+  queue_delay.record(queue_delay_s);
+  if (flight_ != nullptr) {
+    flight_->add(action, reward, {queue_delay_s, rate_pkts_});
+  }
+  if (done_) netgym::flight::submit(std::move(flight_));
+
   StepResult result;
   result.reward = reward;
   result.done = done_;

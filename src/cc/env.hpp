@@ -5,6 +5,7 @@
 
 #include "netgym/config.hpp"
 #include "netgym/env.hpp"
+#include "netgym/flight.hpp"
 #include "netgym/trace.hpp"
 
 namespace cc {
@@ -127,6 +128,7 @@ class CcEnv : public netgym::Env {
   bool done_ = true;
   std::array<MiStats, kMiHistory> history_{};
   Totals totals_;
+  std::unique_ptr<netgym::flight::EpisodeCapture> flight_;
 };
 
 /// Synthesize the bandwidth trace for `config` (Appendix A.2) and build an

@@ -7,6 +7,7 @@
 
 #include "abr/baselines.hpp"
 #include "netgym/parallel.hpp"
+#include "netgym/tracing.hpp"
 #include "abr/env.hpp"
 #include "abr/optimal.hpp"
 #include "cc/baselines.hpp"
@@ -61,14 +62,15 @@ std::vector<double> forked_map(
   streams.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) streams.push_back(rng.fork());
   std::vector<double> values(static_cast<std::size_t>(n));
+  const auto traced_item = [&](std::size_t i) {
+    netgym::tracing::TraceSpan span("eval", "genet",
+                                    static_cast<std::int64_t>(i));
+    values[i] = item(i, streams[i]);
+  };
   if (parallel_ok) {
-    netgym::parallel_for_each(values.size(), [&](std::size_t i) {
-      values[i] = item(i, streams[i]);
-    });
+    netgym::parallel_for_each(values.size(), traced_item);
   } else {
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      values[i] = item(i, streams[i]);
-    }
+    for (std::size_t i = 0; i < values.size(); ++i) traced_item(i);
   }
   return values;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "netgym/telemetry.hpp"
+#include "netgym/tracing.hpp"
 
 namespace genet {
 
@@ -22,6 +23,7 @@ CurriculumScheme::Selection bo_search(const TaskAdapter& task,
   bo::BayesianOptimizer optimizer(static_cast<int>(space.dims()),
                                   rng.engine()());
   for (int trial = 0; trial < options.bo_trials; ++trial) {
+    netgym::tracing::TraceSpan span("bo_trial", "genet", trial);
     const std::vector<double> unit = optimizer.propose();
     const netgym::Config config = space.denormalize(unit);
     optimizer.update(unit, criterion(config));
@@ -191,25 +193,30 @@ CurriculumTrainer::CurriculumTrainer(const TaskAdapter& task,
 }
 
 CurriculumRound CurriculumTrainer::run_round() {
+  netgym::tracing::TraceSpan round_span("round", "genet", round_);
   CurriculumRound record;
   record.round = round_;
 
   // Step 1 (Algorithm 2 line 14): train on the current distribution.
+  netgym::tracing::TraceSpan train_span("round.train", "genet", round_);
   const rl::EnvFactory factory = task_.factory_for(dist_);
   double reward_acc = 0.0;
   for (int i = 0; i < options_.iters_per_round; ++i) {
     reward_acc += trainer_->train_iteration(factory).mean_step_reward;
   }
   record.train_reward = reward_acc / options_.iters_per_round;
+  train_span.end();
 
   // Step 2 (lines 5-11): search for the next configuration with the greedy
   // snapshot of the current policy.
+  netgym::tracing::TraceSpan select_span("round.select", "genet", round_);
   rl::MlpPolicy& policy = trainer_->policy();
   const bool was_greedy = policy.greedy();
   policy.set_greedy(true);
   const CurriculumScheme::Selection selection =
       scheme_->select(task_, policy, round_, rng_);
   policy.set_greedy(was_greedy);
+  select_span.end();
   record.promoted = selection.config;
   record.selection_score = selection.score;
 

@@ -99,6 +99,8 @@ netgym::Observation LbEnv::reset() {
   static netgym::telemetry::Counter& episodes =
       netgym::telemetry::Registry::instance().counter("lb.episodes");
   episodes.add();
+  flight_ = netgym::flight::begin_episode(
+      "lb", {"server_backlog_s", "job_delay_s"});
   work_s_.assign(kNumServers, 0.0);
   jobs_.assign(kNumServers, 0);
   jobs_done_ = 0;
@@ -146,6 +148,16 @@ netgym::Env::StepResult LbEnv::step(int action) {
   ++jobs_done_;
   done_ = jobs_done_ >= total_jobs_;
   draw_job();
+
+  // Job slowdown (total delay over pure processing time, >= 1): the
+  // env-internal tail distribution behind Fig. 17's LB panel.
+  static netgym::telemetry::Histogram& slowdown =
+      netgym::telemetry::Registry::instance().histogram("lb.job_slowdown");
+  slowdown.record(delay_s / std::max(processing_s, 1e-9));
+  if (flight_ != nullptr) {
+    flight_->add(action, -delay_s, {waiting_s, delay_s});
+  }
+  if (done_) netgym::flight::submit(std::move(flight_));
 
   StepResult result;
   result.reward = -delay_s;

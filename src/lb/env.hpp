@@ -5,6 +5,7 @@
 
 #include "netgym/config.hpp"
 #include "netgym/env.hpp"
+#include "netgym/flight.hpp"
 
 namespace lb {
 
@@ -95,6 +96,7 @@ class LbEnv : public netgym::Env {
   int total_jobs_ = 0;
   bool done_ = true;
   std::vector<int> perm_;        // observation permutation of the last obs
+  std::unique_ptr<netgym::flight::EpisodeCapture> flight_;
 };
 
 std::unique_ptr<LbEnv> make_lb_env(const LbEnvConfig& config,

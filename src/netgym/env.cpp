@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "netgym/tracing.hpp"
+
 namespace netgym {
 
 EpisodeStats run_episode(Env& env, Policy& policy, Rng& rng, int max_steps) {
   if (max_steps <= 0) {
     throw std::invalid_argument("run_episode: max_steps must be > 0");
   }
+  tracing::TraceSpan span("episode", "env");
   EpisodeStats stats;
   policy.begin_episode();
   Observation obs = env.reset();

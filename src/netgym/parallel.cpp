@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "netgym/tracing.hpp"
+
 namespace netgym {
 
 namespace {
@@ -43,6 +45,10 @@ void ThreadPool::run_items(const std::function<void(std::size_t)>& fn,
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     try {
+      // Per-item span in the *worker's* thread-local ring: the trace shows
+      // which thread ran which item index.
+      tracing::TraceSpan span("pool.item", "pool",
+                              static_cast<std::int64_t>(i));
       fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -63,7 +69,11 @@ void ThreadPool::worker_loop() {
     const std::function<void(std::size_t)>* fn = job_fn_;
     const std::size_t n = job_n_;
     lock.unlock();
-    run_items(*fn, n);
+    {
+      tracing::TraceSpan span("pool.job", "pool",
+                              static_cast<std::int64_t>(n));
+      run_items(*fn, n);
+    }
     lock.lock();
     if (--active_workers_ == 0) done_cv_.notify_all();
   }
@@ -95,6 +105,7 @@ void ThreadPool::for_each(std::size_t n,
     // The caller is a full participant; while it runs items, nested for_each
     // calls from those items must go inline like on any other worker.
     InsidePoolScope inside;
+    tracing::TraceSpan span("pool.job", "pool", static_cast<std::int64_t>(n));
     run_items(fn, n);
   }
   std::unique_lock<std::mutex> lock(mu_);

@@ -31,17 +31,23 @@ double max_of(const std::vector<double>& xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
-double percentile(std::vector<double> xs, double p) {
+double percentile_sorted(const std::vector<double>& xs, double p) {
   if (xs.empty()) throw std::invalid_argument("percentile: empty input");
   if (p < 0.0 || p > 100.0) {
     throw std::invalid_argument("percentile: p must be in [0, 100]");
   }
-  std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double percentile(const std::vector<double>& xs, double p) {
+  if (std::is_sorted(xs.begin(), xs.end())) return percentile_sorted(xs, p);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
 }
 
 double median(const std::vector<double>& xs) { return percentile(xs, 50.0); }

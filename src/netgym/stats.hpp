@@ -18,7 +18,14 @@ double min_of(const std::vector<double>& xs);
 double max_of(const std::vector<double>& xs);
 
 /// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
-double percentile(std::vector<double> xs, double p);
+/// Already-sorted input is detected (one O(n) scan) and served without the
+/// copy + O(n log n) sort; callers holding sorted data can skip even the scan
+/// with `percentile_sorted`.
+double percentile(const std::vector<double>& xs, double p);
+
+/// `percentile` for input the caller guarantees is ascending-sorted: no copy,
+/// no sort, no sortedness scan. Same interpolation, same exceptions.
+double percentile_sorted(const std::vector<double>& xs, double p);
 
 double median(const std::vector<double>& xs);
 

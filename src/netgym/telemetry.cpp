@@ -5,14 +5,17 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <limits>
 #include <stdexcept>
+
+#include "netgym/stats.hpp"
 
 namespace netgym::telemetry {
 
-namespace {
+namespace json {
 
-/// Append `s` to `out` as a JSON string literal (quotes included).
-void append_json_string(std::string& out, std::string_view s) {
+void append_string(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -45,9 +48,7 @@ void append_json_string(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
-/// Append a double as a JSON number; non-finite values become null (JSON has
-/// no NaN/Infinity literals, and a half-written log must stay parseable).
-void append_json_double(std::string& out, double v) {
+void append_double(std::string& out, double v) {
   if (!std::isfinite(v)) {
     out += "null";
     return;
@@ -57,23 +58,36 @@ void append_json_double(std::string& out, double v) {
   out += buf;
 }
 
+}  // namespace json
+
+namespace {
+
 void append_json_value(std::string& out, const FieldValue& value) {
   if (const auto* i = std::get_if<std::int64_t>(&value)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRId64, *i);
     out += buf;
   } else if (const auto* d = std::get_if<double>(&value)) {
-    append_json_double(out, *d);
+    json::append_double(out, *d);
   } else if (const auto* s = std::get_if<std::string>(&value)) {
-    append_json_string(out, *s);
+    json::append_string(out, *s);
   } else {
     const auto& vec = std::get<std::vector<double>>(value);
     out.push_back('[');
     for (std::size_t i = 0; i < vec.size(); ++i) {
       if (i > 0) out.push_back(',');
-      append_json_double(out, vec[i]);
+      json::append_double(out, vec[i]);
     }
     out.push_back(']');
+  }
+}
+
+/// Relaxed CAS update of an atomic double towards the smaller/larger value.
+template <typename Cmp>
+void atomic_update_extreme(std::atomic<double>& slot, double v, Cmp better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
 
@@ -81,6 +95,123 @@ std::mutex g_logger_mu;
 std::shared_ptr<RunLogger> g_logger;
 
 }  // namespace
+
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      pos_(new std::atomic<std::int64_t>[kBucketsPerSign]),
+      neg_(new std::atomic<std::int64_t>[kBucketsPerSign]),
+      exact_(new std::atomic<double>[kExactCap]) {
+  for (int i = 0; i < kBucketsPerSign; ++i) {
+    pos_[i].store(0, std::memory_order_relaxed);
+    neg_[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kExactCap; ++i) {
+    exact_[i].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::bucket_index(double abs_v) {
+  // log2(|v| / kMinAbs) scaled to kSubBuckets buckets per octave.
+  const int idx =
+      static_cast<int>(std::floor(std::log2(abs_v / kMinAbs) * kSubBuckets));
+  return std::clamp(idx, 0, kBucketsPerSign - 1);
+}
+
+double Histogram::bucket_rep(int index) {
+  // Geometric midpoint of the bucket's [lower, upper) magnitude range.
+  return kMinAbs *
+         std::exp2((static_cast<double>(index) + 0.5) / kSubBuckets);
+}
+
+void Histogram::record(double v) {
+  if (!std::isfinite(v)) return;
+  const auto slot =
+      static_cast<std::uint64_t>(n_.fetch_add(1, std::memory_order_relaxed));
+  if (slot < kExactCap) exact_[slot].store(v, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_update_extreme(min_, v, std::less<double>());
+  atomic_update_extreme(max_, v, std::greater<double>());
+  const double abs_v = std::fabs(v);
+  if (abs_v < kMinAbs) {
+    zero_.fetch_add(1, std::memory_order_relaxed);
+  } else if (v > 0.0) {
+    pos_[bucket_index(abs_v)].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    neg_[bucket_index(abs_v)].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = n_.load(std::memory_order_relaxed);
+  if (s.count <= 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  if (static_cast<std::uint64_t>(s.count) <= kExactCap) {
+    std::vector<double> xs(static_cast<std::size_t>(s.count));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = exact_[i].load(std::memory_order_relaxed);
+    }
+    std::sort(xs.begin(), xs.end());
+    s.p50 = percentile_sorted(xs, 50.0);
+    s.p90 = percentile_sorted(xs, 90.0);
+    s.p99 = percentile_sorted(xs, 99.0);
+    s.exact = true;
+    return s;
+  }
+  // Past the exact cap: estimate from the log buckets. Lay the buckets out in
+  // ascending value order (negatives from large magnitude to small, the zero
+  // bucket, positives from small magnitude to large) and pick the
+  // representative value of the bucket containing each target rank. Bucket
+  // counts are order-independent sums, so this is deterministic regardless of
+  // which threads recorded which samples.
+  s.exact = false;
+  std::vector<std::pair<double, std::int64_t>> cells;
+  cells.reserve(2 * kBucketsPerSign + 1);
+  for (int i = kBucketsPerSign - 1; i >= 0; --i) {
+    const std::int64_t c = neg_[i].load(std::memory_order_relaxed);
+    if (c > 0) cells.emplace_back(-bucket_rep(i), c);
+  }
+  if (const std::int64_t c = zero_.load(std::memory_order_relaxed); c > 0) {
+    cells.emplace_back(0.0, c);
+  }
+  for (int i = 0; i < kBucketsPerSign; ++i) {
+    const std::int64_t c = pos_[i].load(std::memory_order_relaxed);
+    if (c > 0) cells.emplace_back(bucket_rep(i), c);
+  }
+  std::int64_t total = 0;
+  for (const auto& [rep, c] : cells) total += c;
+  const auto estimate = [&](double p) {
+    const auto target = static_cast<std::int64_t>(
+        p / 100.0 * static_cast<double>(total - 1));
+    std::int64_t cum = 0;
+    for (const auto& [rep, c] : cells) {
+      cum += c;
+      if (cum > target) return std::clamp(rep, s.min, s.max);
+    }
+    return s.max;
+  };
+  s.p50 = estimate(50.0);
+  s.p90 = estimate(90.0);
+  s.p99 = estimate(99.0);
+  return s;
+}
+
+void Histogram::reset() {
+  n_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  zero_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < kBucketsPerSign; ++i) {
+    pos_[i].store(0, std::memory_order_relaxed);
+    neg_[i].store(0, std::memory_order_relaxed);
+  }
+}
 
 Registry& Registry::instance() {
   static Registry registry;
@@ -116,21 +247,40 @@ TimerStat& Registry::timer(std::string_view name) {
   return *it->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 std::vector<Registry::Entry> Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> entries;
   entries.reserve(counters_.size() + gauges_.size() + timers_.size());
   for (const auto& [name, c] : counters_) {
     entries.push_back({name, Kind::kCounter,
-                       static_cast<double>(c->value()), 0});
+                       static_cast<double>(c->value()), 0, {}});
   }
   for (const auto& [name, g] : gauges_) {
-    entries.push_back({name, Kind::kGauge, g->value(), 0});
+    entries.push_back({name, Kind::kGauge, g->value(), 0, {}});
   }
   for (const auto& [name, t] : timers_) {
-    entries.push_back({name, Kind::kTimer, t->total_seconds(), t->count()});
+    entries.push_back({name, Kind::kTimer, t->total_seconds(), t->count(), {}});
   }
-  // The three maps are each sorted; a full sort keeps the merged snapshot
+  for (const auto& [name, h] : histograms_) {
+    Entry e;
+    e.name = name;
+    e.kind = Kind::kHistogram;
+    e.hist = h->snapshot();
+    e.value = e.hist.sum;
+    e.count = e.hist.count;
+    entries.push_back(std::move(e));
+  }
+  // The per-kind maps are each sorted; a full sort keeps the merged snapshot
   // name-ordered regardless of kind.
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.name < b.name; });
@@ -142,6 +292,45 @@ void Registry::reset_all() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string format_metrics_table() {
+  const auto entries = Registry::instance().snapshot();
+  std::string out;
+  out.reserve(128 + 96 * entries.size());
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %-9s %10s %14s %12s %12s %12s %12s\n",
+                "metric", "kind", "count", "value", "p50", "p90", "p99", "max");
+  out += line;
+  for (const auto& e : entries) {
+    switch (e.kind) {
+      case Registry::Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%-32s %-9s %10s %14.0f\n",
+                      e.name.c_str(), "counter", "", e.value);
+        break;
+      case Registry::Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%-32s %-9s %10s %14.6g\n",
+                      e.name.c_str(), "gauge", "", e.value);
+        break;
+      case Registry::Kind::kTimer:
+        std::snprintf(line, sizeof(line), "%-32s %-9s %10" PRId64 " %13.3fs\n",
+                      e.name.c_str(), "timer", e.count, e.value);
+        break;
+      case Registry::Kind::kHistogram:
+        std::snprintf(line, sizeof(line),
+                      "%-32s %-9s %10" PRId64 " %14.6g %12.6g %12.6g %12.6g "
+                      "%12.6g\n",
+                      e.name.c_str(), "histogram", e.hist.count,
+                      e.hist.count > 0 ? e.hist.sum /
+                                             static_cast<double>(e.hist.count)
+                                       : 0.0,
+                      e.hist.p50, e.hist.p90, e.hist.p99, e.hist.max);
+        break;
+    }
+    out += line;
+  }
+  return out;
 }
 
 RunLogger::RunLogger(std::string path) : path_(std::move(path)) {
@@ -160,7 +349,7 @@ void RunLogger::event(std::string_view type, std::int64_t step,
   std::string line;
   line.reserve(128);
   line += "{\"type\":";
-  append_json_string(line, type);
+  json::append_string(line, type);
   char buf[64];
   std::snprintf(buf, sizeof(buf), ",\"step\":%" PRId64, step);
   line += buf;
@@ -170,7 +359,7 @@ void RunLogger::event(std::string_view type, std::int64_t step,
           .count();
   for (const Field* f = begin; f != end; ++f) {
     line.push_back(',');
-    append_json_string(line, f->first);
+    json::append_string(line, f->first);
     line.push_back(':');
     append_json_value(line, f->second);
   }

@@ -29,6 +29,20 @@ namespace netgym::telemetry {
 // rounds, BO updates on the proposing thread), while the hot-path counters
 // are safe to bump from pool workers.
 
+// Minimal JSON fragment builders shared by the RunLogger, the span tracer
+// (netgym/tracing.*), and the flight recorder (netgym/flight.*): every sink
+// in the process escapes strings and formats doubles the same way.
+namespace json {
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+void append_string(std::string& out, std::string_view s);
+
+/// Append a double as a JSON number; non-finite values become null (JSON has
+/// no NaN/Infinity literals, and a half-written log must stay parseable).
+void append_double(std::string& out, double v);
+
+}  // namespace json
+
 /// Monotonic event count (env steps, episodes, BO trials, ...).
 class Counter {
  public:
@@ -100,6 +114,68 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Distribution of a sample stream (episode rewards, per-MI queue delays...)
+/// with percentile-grade read-out. `record` is lock-free and order-independent:
+/// a handful of relaxed atomic ops, safe from pool workers. Two storage tiers
+/// back `snapshot()`:
+///
+///  - the first `kExactCap` samples land in a fixed slot array (slot index
+///    from one fetch_add), so runs below the cap get *exact* percentiles that
+///    do not depend on the order workers recorded in;
+///  - every sample also lands in sign-split log-spaced buckets (growth
+///    2^(1/4), ~9% max relative error), which serve percentile estimates past
+///    the cap. Bucket counts are order-independent sums, so estimates are
+///    deterministic at any thread count too.
+///
+/// Non-finite samples are ignored. Magnitudes below 1e-9 share the zero
+/// bucket; magnitudes above ~1.8e10 saturate into the top bucket (exact
+/// min/max are still tracked separately via CAS).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(double v);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    bool exact = true;  ///< percentiles from exact samples, not bucket interp
+  };
+
+  /// Call from serial sections (after parallel work has joined) for a
+  /// consistent view; see the determinism note at the top of this header.
+  Snapshot snapshot() const;
+
+  void reset();
+
+  std::int64_t count() const { return n_.load(std::memory_order_relaxed); }
+
+  /// Samples beyond this many fall back to log-bucket percentile estimates.
+  static constexpr std::size_t kExactCap = 4096;
+
+ private:
+  static constexpr int kSubBuckets = 4;        // buckets per power of two
+  static constexpr int kBucketsPerSign = 256;  // covers |v| in [1e-9, ~1.8e10]
+  static constexpr double kMinAbs = 1e-9;
+
+  static int bucket_index(double abs_v);
+  static double bucket_rep(int index);
+
+  std::atomic<std::int64_t> n_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  std::atomic<std::int64_t> zero_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> pos_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> neg_;
+  std::unique_ptr<std::atomic<double>[]> exact_;
+};
+
 /// Process-wide metric registry. Lookup creates the metric on first use and
 /// returns a reference that stays valid for the process lifetime (metrics are
 /// heap-allocated and never erased; `reset_all` only zeroes values), so hot
@@ -112,13 +188,15 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   TimerStat& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
-  enum class Kind { kCounter, kGauge, kTimer };
+  enum class Kind { kCounter, kGauge, kTimer, kHistogram };
   struct Entry {
     std::string name;
     Kind kind = Kind::kCounter;
-    double value = 0.0;        ///< count / gauge value / total seconds
-    std::int64_t count = 0;    ///< timer invocation count (0 otherwise)
+    double value = 0.0;        ///< count / gauge value / total seconds / sum
+    std::int64_t count = 0;    ///< timer/histogram sample count (0 otherwise)
+    Histogram::Snapshot hist;  ///< populated for kHistogram entries only
   };
 
   /// Consistent name-sorted snapshot of every registered metric.
@@ -134,7 +212,13 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Fixed-width human-readable table of every registered metric (one row per
+/// Registry entry; histogram rows carry p50/p90/p99/max). Backs the CLI
+/// `--metrics-out` dump; ends with a trailing newline.
+std::string format_metrics_table();
 
 /// One key/value pair of a structured event. Doubles that are not finite are
 /// serialized as JSON null.

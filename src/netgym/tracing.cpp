@@ -1,0 +1,221 @@
+#include "netgym/tracing.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "netgym/telemetry.hpp"
+
+namespace netgym::tracing {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Per-thread bounded ring of completed spans. Single writer (the owning
+/// thread); the flusher reads it from serial sections only, synchronized by
+/// the release store of `written_` and by the fact that no spans are in
+/// flight while flushing (see the serial-section contract in the header).
+class SpanBuffer {
+ public:
+  SpanBuffer(std::uint32_t tid, std::size_t capacity)
+      : tid_(tid), ring_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(const SpanRecord& r) {
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    ring_[w % ring_.size()] = r;
+    written_.store(w + 1, std::memory_order_release);
+  }
+
+  std::uint32_t tid() const { return tid_; }
+
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_acquire);
+  }
+  std::uint64_t held() const { return std::min<std::uint64_t>(written(), ring_.size()); }
+  std::uint64_t dropped() const {
+    const std::uint64_t w = written();
+    return w > ring_.size() ? w - ring_.size() : 0;
+  }
+
+  /// Oldest-to-newest records currently held. Serial sections only.
+  std::vector<SpanRecord> collect() const {
+    const std::uint64_t w = written();
+    const std::uint64_t n = std::min<std::uint64_t>(w, ring_.size());
+    std::vector<SpanRecord> out;
+    out.reserve(n);
+    for (std::uint64_t seq = w - n; seq < w; ++seq) {
+      out.push_back(ring_[seq % ring_.size()]);
+    }
+    return out;
+  }
+
+  /// Drop held records and adopt a new capacity. Serial sections only.
+  void reset(std::size_t capacity) {
+    ring_.assign(std::max<std::size_t>(capacity, 1), SpanRecord{});
+    written_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint32_t tid_;
+  std::vector<SpanRecord> ring_;
+  std::atomic<std::uint64_t> written_{0};
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  // Buffers live for the process lifetime (worker threads may die before the
+  // trace is flushed; their spans must survive them). Ring storage is only
+  // allocated for threads that emit while tracing is enabled.
+  std::vector<std::unique_ptr<SpanBuffer>> buffers;
+  std::size_t capacity = kDefaultBufferCapacity;
+  std::int64_t start_ns = 0;
+};
+
+TraceRegistry& registry() {
+  // Immortal: never destroyed, so the atexit flush installed by install()
+  // and spans emitted by late-exiting threads can never touch a dead object.
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+SpanBuffer& local_buffer() {
+  thread_local SpanBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(std::make_unique<SpanBuffer>(
+        static_cast<std::uint32_t>(r.buffers.size()), r.capacity));
+    t_buffer = r.buffers.back().get();
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+void emit(const SpanRecord& record) { local_buffer().push(record); }
+
+}  // namespace detail
+
+void start(std::size_t buffer_capacity) {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.capacity = buffer_capacity;
+  for (auto& buffer : r.buffers) buffer->reset(buffer_capacity);
+  r.start_ns = now_ns();
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+std::uint64_t dropped_spans() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& buffer : r.buffers) total += buffer->dropped();
+  return total;
+}
+
+std::uint64_t recorded_spans() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& buffer : r.buffers) total += buffer->held();
+  return total;
+}
+
+std::uint64_t write_chrome_trace(const std::string& path) {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    throw std::runtime_error("tracing: cannot open trace file " + path);
+  }
+
+  // One event per line keeps the file trivially greppable and line-parseable
+  // while staying a single valid JSON document.
+  std::vector<std::string> events;
+  std::uint64_t span_events = 0;
+  char buf[160];
+  for (const auto& buffer : r.buffers) {
+    std::string meta = "{\"ph\":\"M\",\"pid\":1,\"name\":\"thread_name\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"tid\":%u,\"args\":{\"name\":\"thread-%u\"}}",
+                  buffer->tid(), buffer->tid());
+    meta += buf;
+    events.push_back(std::move(meta));
+    for (const SpanRecord& rec : buffer->collect()) {
+      std::string line = "{\"ph\":\"X\",\"pid\":1";
+      std::snprintf(buf, sizeof(buf), ",\"tid\":%u,\"name\":", buffer->tid());
+      line += buf;
+      telemetry::json::append_string(line, rec.name != nullptr ? rec.name
+                                                               : "span");
+      line += ",\"cat\":";
+      telemetry::json::append_string(line, rec.cat != nullptr ? rec.cat
+                                                              : "task");
+      // Chrome trace timestamps are microseconds; keep ns precision in the
+      // fraction. Timestamps are relative to start() so traces begin at 0.
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(rec.start_ns - r.start_ns) * 1e-3,
+                    static_cast<double>(rec.dur_ns) * 1e-3);
+      line += buf;
+      if (rec.index >= 0) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"index\":%lld}",
+                      static_cast<long long>(rec.index));
+        line += buf;
+      }
+      line += '}';
+      events.push_back(std::move(line));
+      ++span_events;
+    }
+  }
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::fputs(events[i].c_str(), out);
+    std::fputs(i + 1 < events.size() ? ",\n" : "\n", out);
+  }
+  std::fputs("]}\n", out);
+  std::fclose(out);
+  return span_events;
+}
+
+namespace {
+std::string* g_atexit_path = nullptr;
+}  // namespace
+
+void install(const std::string& path, std::size_t buffer_capacity) {
+  registry();  // constructed before the atexit hook registers -> outlives it
+  if (g_atexit_path == nullptr) {
+    g_atexit_path = new std::string(path);
+    std::atexit([] {
+      try {
+        write_chrome_trace(*g_atexit_path);
+      } catch (const std::exception&) {
+        // Nothing useful to do with an I/O failure during process exit.
+      }
+    });
+  } else {
+    *g_atexit_path = path;
+  }
+  start(buffer_capacity);
+}
+
+bool install_from_env() {
+  if (enabled()) return true;
+  const char* path = std::getenv("GENET_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  install(path);
+  return true;
+}
+
+}  // namespace netgym::tracing

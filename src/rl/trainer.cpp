@@ -8,6 +8,7 @@
 
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
+#include "netgym/tracing.hpp"
 
 namespace rl {
 
@@ -51,6 +52,8 @@ RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
       static_cast<std::size_t>(episodes));
   netgym::parallel_for_each(
       static_cast<std::size_t>(episodes), [&](std::size_t e) {
+        netgym::tracing::TraceSpan span("episode", "rl",
+                                        static_cast<std::int64_t>(e));
         MlpPolicy local = policy;
         netgym::Rng& ep_rng = streams[e];
         std::unique_ptr<netgym::Env> env = factory(ep_rng);
@@ -98,6 +101,7 @@ double ActorCriticBase::critic_value(const netgym::Observation& obs) {
 
 RolloutBatch ActorCriticBase::collect_timed(const EnvFactory& factory,
                                             IterationStats& stats) {
+  netgym::tracing::TraceSpan span("rollout", "rl");
   const auto start = std::chrono::steady_clock::now();
   RolloutBatch batch =
       collect_batch(policy_, factory, rng_, options_.episodes_per_iteration,
@@ -108,10 +112,28 @@ RolloutBatch ActorCriticBase::collect_timed(const EnvFactory& factory,
   return batch;
 }
 
+void ActorCriticBase::record_episode_rewards(const RolloutBatch& batch) {
+  namespace tel = netgym::telemetry;
+  static tel::Histogram& rewards =
+      tel::Registry::instance().histogram("rl.episode_reward");
+  double total = 0.0;
+  for (const Transition& t : batch.transitions) {
+    total += t.reward;
+    if (t.done) {  // collect_batch forces done on each episode's last step
+      rewards.record(total);
+      total = 0.0;
+    }
+  }
+}
+
 IterationStats ActorCriticBase::train_iteration(const EnvFactory& factory) {
   namespace tel = netgym::telemetry;
+  IterationStats stats;
   const auto start = std::chrono::steady_clock::now();
-  IterationStats stats = run_iteration(factory);
+  {
+    netgym::tracing::TraceSpan span("iteration", "rl", iteration_count_);
+    stats = run_iteration(factory);
+  }
   const double total =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -127,12 +149,18 @@ IterationStats ActorCriticBase::train_iteration(const EnvFactory& factory) {
       tel::Registry::instance().timer("rl.rollout");
   static tel::TimerStat& update_timer =
       tel::Registry::instance().timer("rl.update");
+  static tel::Histogram& rollout_hist =
+      tel::Registry::instance().histogram("rl.rollout_seconds");
+  static tel::Histogram& update_hist =
+      tel::Registry::instance().histogram("rl.update_seconds");
   iterations.add();
   env_steps.add(stats.steps);
   rollout_timer.record_ns(
       static_cast<std::int64_t>(stats.rollout_seconds * 1e9));
   update_timer.record_ns(
       static_cast<std::int64_t>(stats.update_seconds * 1e9));
+  rollout_hist.record(stats.rollout_seconds);
+  update_hist.record(stats.update_seconds);
 
   if (tel::logging_enabled()) {
     tel::log_event(
@@ -167,7 +195,9 @@ IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
   stats.mean_step_reward =
       batch.empty() ? 0.0 : batch.total_reward() / batch.size();
   if (batch.empty()) return stats;
+  record_episode_rewards(batch);
 
+  netgym::tracing::TraceSpan advantage_span("advantage", "rl");
   // Scale rewards by the running return magnitude so actor/critic step sizes
   // are task-independent, then recompute returns on the scaled rewards.
   std::vector<double> raw_returns = discounted_returns(batch, options_.gamma);
@@ -187,7 +217,9 @@ IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
     adv[i] = returns[i] - values[i];
   }
   normalize(adv);
+  advantage_span.end();
 
+  netgym::tracing::TraceSpan update_span("update", "rl");
   const double inv_n = 1.0 / static_cast<double>(batch.size());
   const double ent_coef = next_entropy_coef();
   double entropy_sum = 0.0;
@@ -233,7 +265,9 @@ IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
   stats.mean_step_reward =
       batch.empty() ? 0.0 : batch.total_reward() / batch.size();
   if (batch.empty()) return stats;
+  record_episode_rewards(batch);
 
+  netgym::tracing::TraceSpan advantage_span("advantage", "rl");
   std::vector<double> raw_returns = discounted_returns(batch, options_.gamma);
   observe_returns(raw_returns);
   const double scale = reward_scale();
@@ -252,7 +286,9 @@ IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
     targets[i] = adv[i] + values[i];
   }
   normalize(adv);
+  advantage_span.end();
 
+  netgym::tracing::TraceSpan update_span("update", "rl");
   std::vector<double> old_logp(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     old_logp[i] = nn::log_softmax_at(

@@ -90,6 +90,10 @@ class ActorCriticBase {
   /// `collect_batch` plus wall-clock accounting into `stats.rollout_seconds`.
   RolloutBatch collect_timed(const EnvFactory& factory, IterationStats& stats);
 
+  /// Feed each episode's total reward into the `rl.episode_reward` histogram
+  /// (implementations call this right after collecting a batch).
+  void record_episode_rewards(const RolloutBatch& batch);
+
   /// Scale factor applied to rewards before returns/advantages: the running
   /// standard deviation of observed episode-discounted returns.
   double reward_scale() const { return return_norm_.stddev(); }

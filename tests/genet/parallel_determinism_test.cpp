@@ -13,8 +13,10 @@
 
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
+#include "netgym/flight.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
+#include "netgym/tracing.hpp"
 #include "rl/trainer.hpp"
 
 namespace {
@@ -177,6 +179,33 @@ TEST(ParallelDeterminism, TelemetryOnAndOffAreBitIdenticalAcrossThreads) {
   EXPECT_EQ(iterations, 4);
   EXPECT_EQ(rounds, 2);
   EXPECT_EQ(bo_trials, 8);
+}
+
+TEST(ParallelDeterminism, TracingAndFlightAreBitIdenticalAcrossThreads) {
+  // Span tracing and the flight recorder are strictly observational: they
+  // never consume RNG and never reorder work, so enabling both must leave a
+  // 2-round curriculum run bit-identical to the untraced baseline at 1 and 4
+  // threads -- while still collecting spans and episodes.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  const std::vector<double> baseline = run_two_round_curriculum();
+
+  for (int threads : {1, 4}) {
+    netgym::set_num_threads(threads);
+    netgym::tracing::start();
+    netgym::flight::Recorder::instance().reset();
+    netgym::flight::Recorder::instance().enable(/*worst_k=*/4);
+    const std::vector<double> observed = run_two_round_curriculum();
+    netgym::tracing::stop();
+    netgym::flight::Recorder::instance().disable();
+
+    EXPECT_EQ(observed, baseline) << threads << " threads";
+    EXPECT_GT(netgym::tracing::recorded_spans(), 0u)
+        << threads << " threads";
+    EXPECT_GT(netgym::flight::Recorder::instance().episodes_seen(), 0u)
+        << threads << " threads";
+  }
+  netgym::flight::Recorder::instance().reset();
 }
 
 TEST(ParallelDeterminism, NonCloneablePoliciesStillEvaluateDeterministically) {

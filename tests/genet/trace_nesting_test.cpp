@@ -1,0 +1,149 @@
+// Acceptance check for the span tracer: a small CC Genet curriculum run,
+// traced end to end, must produce a Chrome trace-event file whose spans nest
+// round -> bo_trial -> eval -> episode by time containment. The file is
+// parsed line by line (the writer emits one event per line by design).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/parallel.hpp"
+#include "netgym/tracing.hpp"
+
+namespace {
+
+namespace tracing = netgym::tracing;
+
+struct Span {
+  std::string name;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+  double end() const { return ts + dur; }
+};
+
+/// Extracts the double following `"key":` on `line`, or NaN if absent.
+double extract_number(const std::string& line, const std::string& key) {
+  const std::string marker = "\"" + key + "\":";
+  const auto pos = line.find(marker);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(line.c_str() + pos + marker.size(), nullptr);
+}
+
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string marker = "\"" + key + "\":\"";
+  const auto pos = line.find(marker);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + marker.size();
+  const auto end = line.find('"', start);
+  return line.substr(start, end - start);
+}
+
+std::vector<Span> parse_spans(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<Span> spans;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    Span span;
+    span.name = extract_string(line, "name");
+    span.ts = extract_number(line, "ts");
+    span.dur = extract_number(line, "dur");
+    EXPECT_FALSE(span.name.empty()) << line;
+    EXPECT_FALSE(std::isnan(span.ts)) << line;
+    EXPECT_FALSE(std::isnan(span.dur)) << line;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+std::vector<Span> by_name(const std::vector<Span>& spans,
+                          const std::string& name) {
+  std::vector<Span> out;
+  for (const auto& s : spans) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+/// True when `child` lies within `parent` in time. Timestamps in the file
+/// are exact to 1 ns, so a tiny epsilon absorbs only the text round-trip.
+bool contained_in(const Span& child, const Span& parent) {
+  constexpr double kEpsUs = 1e-3;
+  return child.ts >= parent.ts - kEpsUs &&
+         child.end() <= parent.end() + kEpsUs;
+}
+
+bool contained_in_any(const Span& child, const std::vector<Span>& parents) {
+  for (const auto& p : parents) {
+    if (contained_in(child, p)) return true;
+  }
+  return false;
+}
+
+TEST(TraceNesting, CcCurriculumSpansNestRoundBoTrialEvalEpisode) {
+  const std::string path = ::testing::TempDir() + "trace_nesting_cc.json";
+  netgym::set_num_threads(2);
+  tracing::start();
+  {
+    genet::CcAdapter adapter(1);
+    genet::SearchOptions search;
+    search.bo_trials = 2;
+    search.envs_per_eval = 2;
+    genet::CurriculumOptions options;
+    options.rounds = 2;
+    options.iters_per_round = 1;
+    options.seed = 7;
+    genet::CurriculumTrainer trainer(
+        adapter, std::make_unique<genet::GenetScheme>("bbr", search),
+        options);
+    trainer.run();
+  }
+  tracing::stop();
+  netgym::set_num_threads(0);
+  ASSERT_GT(tracing::write_chrome_trace(path), 0u);
+  EXPECT_EQ(tracing::dropped_spans(), 0u);
+
+  const std::vector<Span> spans = parse_spans(path);
+  const auto rounds = by_name(spans, "round");
+  const auto trials = by_name(spans, "bo_trial");
+  const auto evals = by_name(spans, "eval");
+  const auto episodes = by_name(spans, "episode");
+  EXPECT_EQ(rounds.size(), 2u);
+  EXPECT_EQ(trials.size(), 4u);  // 2 rounds x 2 BO trials
+  ASSERT_FALSE(evals.empty());
+  ASSERT_FALSE(episodes.empty());
+
+  // Every BO trial runs inside a curriculum round.
+  for (const auto& trial : trials) {
+    EXPECT_TRUE(contained_in_any(trial, rounds))
+        << "bo_trial [" << trial.ts << ", " << trial.end()
+        << ") outside every round";
+  }
+  // Each leg of the chain is exercised: some eval inside a BO trial, and
+  // some episode inside that eval (evals also run in the scheme's select
+  // phase, episodes also run in training rollout -- hence "some", not
+  // "every").
+  bool chain_found = false;
+  for (const auto& eval : evals) {
+    if (!contained_in_any(eval, trials)) continue;
+    for (const auto& episode : episodes) {
+      if (contained_in(episode, eval)) {
+        chain_found = true;
+        break;
+      }
+    }
+    if (chain_found) break;
+  }
+  EXPECT_TRUE(chain_found)
+      << "no round -> bo_trial -> eval -> episode containment chain";
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include "netgym/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netgym/parallel.hpp"
+
+namespace {
+
+namespace flight = netgym::flight;
+
+/// Disables the recorder, clears retained episodes, and removes the dump
+/// file when a test exits.
+struct FlightGuard {
+  explicit FlightGuard(std::string p = {}) : path(std::move(p)) {}
+  ~FlightGuard() {
+    flight::Recorder::instance().disable();
+    flight::Recorder::instance().reset();
+    netgym::set_num_threads(0);
+    if (!path.empty()) std::remove(path.c_str());
+  }
+  std::string path;
+};
+
+/// Builds and submits a 2-step episode whose mean reward is `mean`.
+void submit_episode(double mean) {
+  auto cap = flight::begin_episode("lb", {"backlog_s"});
+  ASSERT_NE(cap, nullptr);
+  cap->add(0, mean, {1.0});
+  cap->add(1, mean, {2.0});
+  flight::submit(std::move(cap));
+}
+
+TEST(Flight, DisabledRecorderHandsOutNullCaptures) {
+  FlightGuard guard;
+  flight::Recorder::instance().disable();
+  EXPECT_EQ(flight::begin_episode("lb", {"backlog_s"}), nullptr);
+  flight::submit(nullptr);  // must not crash
+  EXPECT_TRUE(flight::Recorder::instance().worst().empty());
+}
+
+TEST(Flight, KeepsWorstKByMeanRewardWorstFirst) {
+  FlightGuard guard;
+  flight::Recorder& rec = flight::Recorder::instance();
+  rec.reset();
+  rec.enable(/*worst_k=*/2);
+  for (double mean : {-1.0, -5.0, 3.0, -2.0}) submit_episode(mean);
+  rec.disable();
+
+  EXPECT_EQ(rec.episodes_seen(), 4u);
+  const auto worst = rec.worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_DOUBLE_EQ(worst[0].mean_reward, -5.0);
+  EXPECT_DOUBLE_EQ(worst[1].mean_reward, -2.0);
+  EXPECT_EQ(worst[0].task, "lb");
+  EXPECT_EQ(worst[0].steps, 2);
+  ASSERT_EQ(worst[0].field_names.size(), 1u);
+  EXPECT_EQ(worst[0].field_names[0], "backlog_s");
+  ASSERT_EQ(worst[0].fields.size(), 1u);
+  EXPECT_EQ(worst[0].fields[0], (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Flight, RetainedSetIsIndependentOfSubmissionOrder) {
+  const std::vector<double> means{4.0, -3.0, 0.5, -3.0, 2.0, -7.0};
+  std::vector<std::vector<double>> retained;
+  for (bool reversed : {false, true}) {
+    FlightGuard guard;
+    flight::Recorder& rec = flight::Recorder::instance();
+    rec.reset();
+    rec.enable(3);
+    std::vector<double> order = means;
+    if (reversed) std::reverse(order.begin(), order.end());
+    for (double mean : order) submit_episode(mean);
+    std::vector<double> kept;
+    for (const auto& e : rec.worst()) kept.push_back(e.mean_reward);
+    retained.push_back(kept);
+  }
+  EXPECT_EQ(retained[0], retained[1]);
+  EXPECT_EQ(retained[0], (std::vector<double>{-7.0, -3.0, -3.0}));
+}
+
+TEST(Flight, CaptureTruncatesStepDetailPastTheCap) {
+  FlightGuard guard;
+  flight::Recorder& rec = flight::Recorder::instance();
+  rec.reset();
+  rec.enable(1);
+  auto cap = flight::begin_episode("cc", {"queue_delay_s"});
+  ASSERT_NE(cap, nullptr);
+  const std::size_t steps = flight::kMaxStepsCaptured + 10;
+  for (std::size_t i = 0; i < steps; ++i) {
+    cap->add(0, -1.0, {0.5});
+  }
+  flight::submit(std::move(cap));
+  rec.disable();
+
+  const auto worst = rec.worst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_TRUE(worst[0].truncated);
+  EXPECT_EQ(worst[0].steps, static_cast<std::int64_t>(steps));
+  EXPECT_EQ(worst[0].actions.size(), flight::kMaxStepsCaptured);
+  EXPECT_EQ(worst[0].fields[0].size(), flight::kMaxStepsCaptured);
+  // Totals still cover every step, not just the captured prefix.
+  EXPECT_DOUBLE_EQ(worst[0].total_reward, -static_cast<double>(steps));
+  EXPECT_DOUBLE_EQ(worst[0].mean_reward, -1.0);
+}
+
+TEST(Flight, WriteJsonlEmitsOneObjectPerEpisodeWorstFirst) {
+  const std::string path = ::testing::TempDir() + "flight_dump.jsonl";
+  FlightGuard guard(path);
+  flight::Recorder& rec = flight::Recorder::instance();
+  rec.reset();
+  rec.enable(2);
+  for (double mean : {1.0, -4.0, -1.0}) submit_episode(mean);
+  rec.write_jsonl(path);
+  rec.disable();
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& l : lines) {
+    EXPECT_EQ(l.front(), '{') << l;
+    EXPECT_EQ(l.back(), '}') << l;
+    EXPECT_NE(l.find("\"task\":\"lb\""), std::string::npos) << l;
+    EXPECT_NE(l.find("\"actions\":[0,1]"), std::string::npos) << l;
+    EXPECT_NE(l.find("\"backlog_s\":[1,2]"), std::string::npos) << l;
+  }
+  EXPECT_NE(lines[0].find("\"mean_reward\":-4"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"mean_reward\":-1"), std::string::npos);
+}
+
+TEST(Flight, ConcurrentSubmissionsRetainTheGlobalWorstSet) {
+  FlightGuard guard;
+  flight::Recorder& rec = flight::Recorder::instance();
+  rec.reset();
+  rec.enable(4);
+  netgym::set_num_threads(8);
+  netgym::parallel_for_each(64, [&](std::size_t i) {
+    auto cap = flight::begin_episode("lb", {"x"});
+    ASSERT_NE(cap, nullptr);
+    cap->add(0, -static_cast<double>(i), {0.0});
+    flight::submit(std::move(cap));
+  });
+  netgym::set_num_threads(0);
+  rec.disable();
+
+  EXPECT_EQ(rec.episodes_seen(), 64u);
+  const auto worst = rec.worst();
+  ASSERT_EQ(worst.size(), 4u);
+  for (std::size_t k = 0; k < worst.size(); ++k) {
+    EXPECT_DOUBLE_EQ(worst[k].mean_reward, -(63.0 - static_cast<double>(k)));
+  }
+}
+
+}  // namespace

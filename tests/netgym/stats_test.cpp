@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 namespace {
 
 TEST(Stats, MeanHandlesEmptyAndValues) {
@@ -38,6 +41,40 @@ TEST(Stats, PercentileValidatesInput) {
   EXPECT_THROW(netgym::percentile({}, 50.0), std::invalid_argument);
   EXPECT_THROW(netgym::percentile({1.0}, -1.0), std::invalid_argument);
   EXPECT_THROW(netgym::percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSortedMatchesPercentileExactly) {
+  // The fast path must be bit-identical to the general path, not just close:
+  // Fig. 17's tables are pinned by equality in the bench pass.
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) {
+    xs.push_back(std::sin(i * 0.7) * 40.0 + i);  // deterministic, unsorted
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(netgym::percentile_sorted(sorted, p), netgym::percentile(xs, p))
+        << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileDetectsSortedInputWithoutChangingResults) {
+  // Already-sorted input takes the no-copy path inside percentile(); the
+  // result must match both the sorted fast path and the unsorted call.
+  const std::vector<double> sorted{1.0, 2.0, 4.0, 8.0, 16.0};
+  const std::vector<double> shuffled{8.0, 1.0, 16.0, 4.0, 2.0};
+  for (double p : {10.0, 50.0, 90.0}) {
+    const double expect = netgym::percentile(shuffled, p);
+    EXPECT_EQ(netgym::percentile(sorted, p), expect) << "p=" << p;
+    EXPECT_EQ(netgym::percentile_sorted(sorted, p), expect) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileSortedValidatesInput) {
+  EXPECT_THROW(netgym::percentile_sorted({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(netgym::percentile_sorted({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(netgym::percentile_sorted({1.0}, 101.0),
+               std::invalid_argument);
 }
 
 TEST(Stats, MedianOfSingleton) {

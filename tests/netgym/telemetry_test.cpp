@@ -125,6 +125,124 @@ TEST(ScopedTimer, RecordsNonNegativeElapsedTime) {
   EXPECT_GE(stat.total_seconds(), 0.0);
 }
 
+TEST(Histogram, ExactPercentilesBelowTheCap) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.exact");
+  for (int i = 100; i >= 1; --i) h.record(i);  // 1..100, reversed
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_TRUE(snap.exact);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  // Linear interpolation over the sorted samples (same as netgym::percentile).
+  EXPECT_DOUBLE_EQ(snap.p50, 50.5);
+  EXPECT_NEAR(snap.p90, 90.1, 1e-9);
+  EXPECT_NEAR(snap.p99, 99.01, 1e-9);
+}
+
+TEST(Histogram, HandlesNegativeValuesAndIgnoresNonFinite) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.negative");
+  for (double v : {-10.0, -1.0, 0.0, 1.0, 10.0}) h.record(v);
+  h.record(std::nan(""));
+  h.record(std::numeric_limits<double>::infinity());
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.min, -10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+}
+
+TEST(Histogram, BucketEstimatesPastTheCapStayWithinRelativeError) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.bucketed");
+  const int n = static_cast<int>(tel::Histogram::kExactCap) + 2000;
+  for (int i = 1; i <= n; ++i) h.record(i);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, n);
+  EXPECT_FALSE(snap.exact);
+  // Log buckets with 4 sub-buckets per octave: <= ~9% relative error.
+  EXPECT_NEAR(snap.p50, 0.5 * n, 0.09 * n);
+  EXPECT_NEAR(snap.p90, 0.9 * n, 0.09 * n);
+  EXPECT_NEAR(snap.p99, 0.99 * n, 0.09 * n);
+  EXPECT_DOUBLE_EQ(snap.max, n);
+  // Estimates clamp into the observed range even at the extremes.
+  EXPECT_GE(snap.p50, snap.min);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(Histogram, ConcurrentRecordingMatchesSerialSnapshot) {
+  // Order-independence is the histogram's determinism contract: the same
+  // multiset of samples must yield the identical snapshot no matter how many
+  // threads recorded it or in what order.
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& serial = reg.histogram("hist.serial");
+  tel::Histogram& parallel = reg.histogram("hist.parallel");
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 50; ++j) serial.record(i + j * 0.25);
+  }
+  netgym::set_num_threads(8);
+  netgym::parallel_for_each(64, [&](std::size_t i) {
+    for (int j = 0; j < 50; ++j) {
+      parallel.record(static_cast<double>(i) + j * 0.25);
+    }
+  });
+  netgym::set_num_threads(0);
+
+  const auto a = serial.snapshot();
+  const auto b = parallel.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(Histogram, ResetZeroesWithoutInvalidatingReferences) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.reset");
+  h.record(5.0);
+  reg.reset_all();
+  EXPECT_EQ(h.count(), 0);
+  h.record(2.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.p50, 2.0);
+}
+
+TEST(Histogram, AppearsInRegistrySnapshotAndMetricsTable) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.table");
+  h.record(1.0);
+  h.record(3.0);
+
+  bool found = false;
+  for (const auto& entry : reg.snapshot()) {
+    if (entry.name != "hist.table") continue;
+    found = true;
+    EXPECT_EQ(entry.kind, tel::Registry::Kind::kHistogram);
+    EXPECT_EQ(entry.count, 2);
+    EXPECT_DOUBLE_EQ(entry.value, 4.0);  // sum
+    EXPECT_DOUBLE_EQ(entry.hist.p50, 2.0);
+  }
+  EXPECT_TRUE(found);
+
+  const std::string table = tel::format_metrics_table();
+  EXPECT_NE(table.find("metric"), std::string::npos);
+  EXPECT_NE(table.find("hist.table"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+  EXPECT_EQ(table.back(), '\n');
+}
+
 TEST(RunLogger, WritesOneParseableJsonLinePerEvent) {
   const std::string path =
       ::testing::TempDir() + "telemetry_runlogger_test.jsonl";

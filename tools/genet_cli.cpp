@@ -25,10 +25,12 @@
 
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
+#include "netgym/flight.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/stats.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/trace.hpp"
+#include "netgym/tracing.hpp"
 #include "traces/tracesets.hpp"
 
 namespace {
@@ -39,7 +41,8 @@ namespace {
 
 commands:
   train   --task abr|cc|lb [--space 1|2|3] [--method rl|genet|cl1|cl2|cl3|ensemble]
-          [--baseline NAME] [--iters N] [--rounds N] [--seed N] --out FILE
+          [--baseline NAME] [--iters N] [--rounds N] [--trials N] [--envs N]
+          [--seed N] --out FILE
   eval    --task abr|cc|lb [--space 1|2|3] --model FILE
           [--envs N | --trace-set fcc|norway|cellular|ethernet [--split train|test]]
   search  --task abr|cc|lb [--space 1|2|3] --model FILE [--baseline NAME]
@@ -48,12 +51,21 @@ commands:
           [--max-bw MBPS] [--index N] --out FILE
 
 every command also accepts:
-  --threads N    worker threads for rollouts and evaluations (default: the
-                 GENET_THREADS env var, else all hardware threads; results
-                 are identical at any thread count)
-  --log-file F   write a JSONL run-telemetry trajectory (per-iteration,
-                 per-round, and per-BO-trial events) to F; defaults to the
-                 GENET_LOG env var when set. Telemetry never changes results.
+  --threads N     worker threads for rollouts and evaluations (default: the
+                  GENET_THREADS env var, else all hardware threads; results
+                  are identical at any thread count)
+  --log-file F    write a JSONL run-telemetry trajectory (per-iteration,
+                  per-round, and per-BO-trial events) to F; defaults to the
+                  GENET_LOG env var when set. Telemetry never changes results.
+  --trace-out F   write a Chrome trace-event JSON span profile (round ->
+                  bo_trial -> eval -> episode nesting; open in Perfetto) to
+                  F; defaults to the GENET_TRACE env var when set.
+  --flight-out F  enable the episode flight recorder and dump the worst-k
+                  episodes (step-level actions/rewards/env internals) as
+                  JSONL to F; defaults to the GENET_FLIGHT env var when set.
+  --flight-k N    how many worst episodes to retain (default 8).
+  --metrics-out F dump the final metrics table (counters, timers, histogram
+                  p50/p90/p99/max) to F; '-' writes to stdout.
 )");
   std::exit(2);
 }
@@ -105,9 +117,68 @@ std::string require(const Options& options, const std::string& key) {
   return it->second;
 }
 
+// Validated numeric option parsing: every numeric flag goes through these, so
+// `--iters 3x0` fails with a clear message instead of an uncaught
+// std::invalid_argument from a raw std::stoi (and trailing garbage is an
+// error instead of being silently ignored).
+
+long long parse_integer(const std::string& flag, const std::string& value) {
+  std::size_t parsed = 0;
+  long long result = 0;
+  try {
+    result = std::stoll(value, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (value.empty() || parsed != value.size()) {
+    throw std::invalid_argument("--" + flag + " expects an integer, got '" +
+                                value + "'");
+  }
+  return result;
+}
+
+double parse_number(const std::string& flag, const std::string& value) {
+  std::size_t parsed = 0;
+  double result = 0.0;
+  try {
+    result = std::stod(value, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (value.empty() || parsed != value.size()) {
+    throw std::invalid_argument("--" + flag + " expects a number, got '" +
+                                value + "'");
+  }
+  return result;
+}
+
+int get_int(const Options& options, const std::string& key, int fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  return static_cast<int>(parse_integer(key, it->second));
+}
+
+std::uint64_t get_seed(const Options& options) {
+  const auto it = options.find("seed");
+  if (it == options.end()) return 1;
+  const long long seed = parse_integer("seed", it->second);
+  if (seed < 0) {
+    throw std::invalid_argument("--seed expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  return static_cast<std::uint64_t>(seed);
+}
+
+double get_double(const Options& options, const std::string& key,
+                  double fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  return parse_number(key, it->second);
+}
+
 std::unique_ptr<genet::TaskAdapter> adapter_for(const Options& options) {
   const std::string task = require(options, "task");
-  const int space = std::stoi(get(options, "space", "3"));
+  const int space = get_int(options, "space", 3);
   if (task == "abr") return std::make_unique<genet::AbrAdapter>(space);
   if (task == "cc") return std::make_unique<genet::CcAdapter>(space);
   if (task == "lb") return std::make_unique<genet::LbAdapter>(space);
@@ -130,10 +201,9 @@ int cmd_train(const Options& options) {
   auto adapter = adapter_for(options);
   const std::string method = get(options, "method", "genet");
   const std::string out = require(options, "out");
-  const auto seed = static_cast<std::uint64_t>(
-      std::stoull(get(options, "seed", "1")));
-  const int iters = std::stoi(get(options, "iters", "900"));
-  const int rounds = std::stoi(get(options, "rounds", "9"));
+  const std::uint64_t seed = get_seed(options);
+  const int iters = get_int(options, "iters", 900);
+  const int rounds = get_int(options, "rounds", 9);
   const std::string baseline =
       get(options, "baseline", default_baseline(*adapter));
 
@@ -144,6 +214,8 @@ int cmd_train(const Options& options) {
     params = genet::train_traditional(*adapter, iters, seed)->snapshot();
   } else {
     genet::SearchOptions search;
+    search.bo_trials = get_int(options, "trials", search.bo_trials);
+    search.envs_per_eval = get_int(options, "envs", search.envs_per_eval);
     genet::CurriculumOptions copt;
     copt.rounds = rounds;
     copt.iters_per_round = std::max(iters / rounds, 1);
@@ -209,7 +281,7 @@ int cmd_eval(const Options& options) {
                 netgym::min_of(rewards), netgym::median(rewards),
                 netgym::max_of(rewards));
   } else {
-    const int envs = std::stoi(get(options, "envs", "100"));
+    const int envs = get_int(options, "envs", 100);
     netgym::ConfigDistribution dist(adapter->space());
     netgym::Rng rng(77);
     const double reward =
@@ -225,9 +297,8 @@ int cmd_search(const Options& options) {
   const std::string model = require(options, "model");
   const std::string baseline =
       get(options, "baseline", default_baseline(*adapter));
-  const int trials = std::stoi(get(options, "trials", "15"));
-  const auto seed = static_cast<std::uint64_t>(
-      std::stoull(get(options, "seed", "1")));
+  const int trials = get_int(options, "trials", 15);
+  const std::uint64_t seed = get_seed(options);
 
   netgym::Rng init(0);
   rl::TrainerOptions defaults;
@@ -254,24 +325,23 @@ int cmd_search(const Options& options) {
 int cmd_trace(const Options& options) {
   const std::string kind = require(options, "kind");
   const std::string out = require(options, "out");
-  netgym::Rng rng(static_cast<std::uint64_t>(
-      std::stoull(get(options, "seed", "1"))));
+  netgym::Rng rng(get_seed(options));
   netgym::Trace trace;
   if (kind == "abr") {
     netgym::AbrTraceParams params;
-    params.duration_s = std::stod(get(options, "duration", "200"));
-    params.max_bw_mbps = std::stod(get(options, "max-bw", "5"));
+    params.duration_s = get_double(options, "duration", 200);
+    params.max_bw_mbps = get_double(options, "max-bw", 5);
     params.min_bw_mbps = params.max_bw_mbps * 0.2;
     trace = netgym::generate_abr_trace(params, rng);
   } else if (kind == "cc") {
     netgym::CcTraceParams params;
-    params.duration_s = std::stod(get(options, "duration", "30"));
-    params.max_bw_mbps = std::stod(get(options, "max-bw", "3.16"));
+    params.duration_s = get_double(options, "duration", 30);
+    params.max_bw_mbps = get_double(options, "max-bw", 3.16);
     trace = netgym::generate_cc_trace(params, rng);
   } else {
     const traces::TraceSet set = trace_set_for(kind);
     trace = traces::make_trace(set, /*test=*/false,
-                               std::stoi(get(options, "index", "0")));
+                               get_int(options, "index", 0));
   }
   netgym::save_trace(trace, out);
   std::printf("wrote %zu samples (%.1f s, mean %.2f Mbps) to %s\n",
@@ -288,24 +358,24 @@ int main(int argc, char** argv) {
   const Options options = parse(argc, argv, 2);
   try {
     if (options.count("threads") != 0U) {
-      const std::string& value = options.at("threads");
-      std::size_t parsed = 0;
-      int threads = 0;
-      try {
-        threads = std::stoi(value, &parsed);
-      } catch (const std::exception&) {
-        parsed = 0;
-      }
-      if (parsed != value.size() || value.empty()) {
-        throw std::invalid_argument("--threads expects an integer, got '" +
-                                    value + "'");
-      }
-      netgym::set_num_threads(threads);
+      netgym::set_num_threads(static_cast<int>(
+          parse_integer("threads", options.at("threads"))));
     }
     if (options.count("log-file") != 0U) {
       netgym::telemetry::open_global_logger(options.at("log-file"));
     } else {
       netgym::telemetry::open_global_logger_from_env();  // GENET_LOG
+    }
+    if (options.count("trace-out") != 0U) {
+      netgym::tracing::install(options.at("trace-out"));
+    } else {
+      netgym::tracing::install_from_env();  // GENET_TRACE
+    }
+    if (options.count("flight-out") != 0U) {
+      netgym::flight::install(options.at("flight-out"),
+                              get_int(options, "flight-k", 8));
+    } else {
+      netgym::flight::install_from_env();  // GENET_FLIGHT / GENET_FLIGHT_K
     }
     if (netgym::telemetry::logging_enabled()) {
       std::vector<netgym::telemetry::Field> fields;
@@ -314,19 +384,54 @@ int main(int argc, char** argv) {
       netgym::telemetry::log_event("run_start", 0, fields);
     }
     int rc = -1;
-    if (command == "train") rc = cmd_train(options);
-    else if (command == "eval") rc = cmd_eval(options);
-    else if (command == "search") rc = cmd_search(options);
-    else if (command == "trace") rc = cmd_trace(options);
+    {
+      // Span names are literals: the trace is flushed at process exit, after
+      // main's locals are gone.
+      const char* span_name = command == "train"    ? "cmd.train"
+                              : command == "eval"   ? "cmd.eval"
+                              : command == "search" ? "cmd.search"
+                              : command == "trace"  ? "cmd.trace"
+                                                    : "cmd";
+      netgym::tracing::TraceSpan span(span_name, "cli");
+      if (command == "train") rc = cmd_train(options);
+      else if (command == "eval") rc = cmd_eval(options);
+      else if (command == "search") rc = cmd_search(options);
+      else if (command == "trace") rc = cmd_trace(options);
+    }
     if (rc >= 0) {
+      if (options.count("metrics-out") != 0U) {
+        const std::string& path = options.at("metrics-out");
+        const std::string table = netgym::telemetry::format_metrics_table();
+        if (path == "-") {
+          std::fputs(table.c_str(), stdout);
+        } else {
+          std::ofstream metrics(path);
+          if (!metrics) throw std::runtime_error("cannot write " + path);
+          metrics << table;
+        }
+      }
       if (netgym::telemetry::logging_enabled()) {
         // Close the trajectory with the final metric totals (env steps,
-        // episodes, rollout/update wall clock, ...).
+        // episodes, rollout/update wall clock, ...). Histograms expand to
+        // their percentile read-out.
         std::vector<netgym::telemetry::Field> fields;
         fields.emplace_back("exit_code", static_cast<std::int64_t>(rc));
         for (const auto& entry :
              netgym::telemetry::Registry::instance().snapshot()) {
-          fields.emplace_back(entry.name, entry.value);
+          if (entry.kind == netgym::telemetry::Registry::Kind::kHistogram) {
+            fields.emplace_back(entry.name + ".count", entry.hist.count);
+            fields.emplace_back(
+                entry.name + ".mean",
+                entry.hist.count > 0
+                    ? entry.hist.sum / static_cast<double>(entry.hist.count)
+                    : 0.0);
+            fields.emplace_back(entry.name + ".p50", entry.hist.p50);
+            fields.emplace_back(entry.name + ".p90", entry.hist.p90);
+            fields.emplace_back(entry.name + ".p99", entry.hist.p99);
+            fields.emplace_back(entry.name + ".max", entry.hist.max);
+          } else {
+            fields.emplace_back(entry.name, entry.value);
+          }
         }
         netgym::telemetry::log_event("run_end", 0, fields);
       }
