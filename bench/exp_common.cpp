@@ -3,14 +3,35 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
+#include "netgym/checkpoint.hpp"
 #include "netgym/flight.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
 
 namespace bench {
+
+namespace {
+
+std::string g_checkpoint_dir;
+
+/// Snapshot path for one zoo training run; "" when checkpointing is off.
+/// Creating the directory lazily keeps --checkpoint-dir side-effect free for
+/// harnesses that end up fully cache-hitting the model zoo.
+std::string checkpoint_path_for(const std::string& key) {
+  if (g_checkpoint_dir.empty()) return "";
+  std::filesystem::create_directories(g_checkpoint_dir);
+  return (std::filesystem::path(g_checkpoint_dir) / (key + ".ckpt")).string();
+}
+
+}  // namespace
+
+void set_checkpoint_dir(const std::string& dir) { g_checkpoint_dir = dir; }
+
+const std::string& checkpoint_dir() { return g_checkpoint_dir; }
 
 int traditional_iterations(const std::string& task) {
   if (task == "abr") return 6000;
@@ -61,7 +82,26 @@ std::vector<double> traditional_params(genet::ModelZoo& zoo,
                           std::to_string(iterations);
   return zoo.get_or_train(key, [&] {
     std::fprintf(stderr, "[train] %s ...\n", key.c_str());
-    auto trainer = genet::train_traditional(adapter, iterations, seed);
+    const std::string ckpt = checkpoint_path_for(key);
+    if (ckpt.empty()) {
+      return genet::train_traditional(adapter, iterations, seed)->snapshot();
+    }
+    std::unique_ptr<rl::ActorCriticBase> trainer = adapter.make_trainer(seed);
+    if (std::filesystem::exists(ckpt)) {
+      trainer->load_state(netgym::checkpoint::read_file(ckpt), "trainer/");
+      std::fprintf(stderr, "[resume] %s from iteration %ld\n", key.c_str(),
+                   trainer->iterations());
+    }
+    netgym::ConfigDistribution dist(adapter.space());
+    const rl::EnvFactory factory = adapter.factory_for(dist);
+    for (long i = trainer->iterations(); i < iterations; ++i) {
+      trainer->train_iteration(factory);
+      if ((i + 1) % 10 == 0 || i + 1 == iterations) {
+        netgym::checkpoint::Snapshot snap;
+        trainer->save_state(snap, "trainer/");
+        netgym::checkpoint::write_file(snap, ckpt);
+      }
+    }
     return trainer->snapshot();
   });
 }
@@ -90,9 +130,19 @@ std::vector<double> curriculum_params(
     std::uint64_t seed) {
   return zoo.get_or_train(key, [&] {
     std::fprintf(stderr, "[train] %s ...\n", key.c_str());
-    genet::CurriculumTrainer trainer(adapter, make_scheme(),
-                                     curriculum_options(adapter.name(), seed));
-    trainer.run();
+    const genet::CurriculumOptions options =
+        curriculum_options(adapter.name(), seed);
+    genet::CurriculumTrainer trainer(adapter, make_scheme(), options);
+    const std::string ckpt = checkpoint_path_for(key);
+    if (!ckpt.empty() && std::filesystem::exists(ckpt)) {
+      trainer.load_checkpoint(ckpt);
+      std::fprintf(stderr, "[resume] %s from round %d\n", key.c_str(),
+                   trainer.rounds_completed());
+    }
+    while (trainer.rounds_completed() < options.rounds) {
+      trainer.run_round();
+      if (!ckpt.empty()) trainer.save_checkpoint(ckpt);
+    }
     return trainer.trainer().snapshot();
   });
 }
@@ -134,6 +184,9 @@ void parse_common_flags(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--flight-out") == 0) {
       netgym::flight::install(argv[i + 1]);
       ++i;
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      set_checkpoint_dir(argv[i + 1]);
+      ++i;
     }
   }
 }
@@ -142,6 +195,10 @@ void print_header(const std::string& experiment, const std::string& claim) {
   netgym::telemetry::open_global_logger_from_env();
   netgym::tracing::install_from_env();
   netgym::flight::install_from_env();
+  if (g_checkpoint_dir.empty()) {
+    const char* env = std::getenv("GENET_CHECKPOINT_DIR");
+    if (env != nullptr && env[0] != '\0') set_checkpoint_dir(env);
+  }
   netgym::telemetry::log_event("run_start", 0,
                                {{"experiment", experiment}, {"claim", claim}});
   std::printf("================================================================\n");

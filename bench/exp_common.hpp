@@ -78,13 +78,24 @@ void parallel_sweep(int n, std::uint64_t seed,
                     const std::function<void(int, netgym::Rng&)>& body);
 
 /// Common command-line controls for the experiment harnesses:
-///   --threads N     resize the global rollout/evaluation pool
-///   --log-file F    write the run's JSONL telemetry trajectory to F
-///   --trace-out F   write a Chrome trace-event JSON span timeline to F
-///   --flight-out F  dump the worst-k episode flight recordings to F (JSONL)
+///   --threads N         resize the global rollout/evaluation pool
+///   --log-file F        write the run's JSONL telemetry trajectory to F
+///   --trace-out F       write a Chrome trace-event JSON span timeline to F
+///   --flight-out F      dump the worst-k episode flight recordings to F
+///   --checkpoint-dir D  crash-safe training snapshots: every zoo training
+///                       run saves D/<key>.ckpt per curriculum round (every
+///                       10 iterations for traditional runs) and resumes
+///                       from it when present, so a killed harness re-run
+///                       picks up mid-training with bit-identical results
 /// Unrecognized arguments are ignored so harnesses stay free to add their
 /// own. Call from main() before any work starts.
 void parse_common_flags(int argc, char** argv);
+
+/// Snapshot directory used by `traditional_params`/`curriculum_params`
+/// (empty = checkpointing disabled). `print_header` seeds it from the
+/// GENET_CHECKPOINT_DIR environment variable unless already set.
+void set_checkpoint_dir(const std::string& dir);
+const std::string& checkpoint_dir();
 
 /// Pretty-printing helpers: every harness leads with the experiment id and
 /// what the paper's version of the plot shows. `print_header` also installs

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a genet checkpoint file without loading it into the C++ library.
+
+Checks the whole crash-safety contract from the outside: the magic line, a
+supported schema version, the declared payload length against the actual
+file size, the CRC-32 of the payload (zlib polynomial, matching
+netgym::checkpoint::crc32), and that every payload line parses as a typed
+entry with a unique key. Used by the CI checkpoint-smoke job after
+kill/resume runs, and handy interactively:
+
+    python3 scripts/check_checkpoint.py FILE [--expect-key KEY ...]
+
+With --expect-key, the named keys must be present (e.g. "round",
+"trainer/iteration_count"). Exit status 0 on success; 1 with a diagnostic
+on the first defect. Only the Python standard library is used.
+"""
+
+import argparse
+import re
+import sys
+import zlib
+
+SUPPORTED_VERSIONS = {1}
+KEY_RE = re.compile(rb"^[\x21-\x7e]+$")  # printable, no whitespace
+HEX64_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def fail(path: str, message: str) -> int:
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def parse_entry(key: str, kind: str, args: list[str]) -> str | None:
+    """Returns an error string, or None if the entry is well formed."""
+    if kind == "i":
+        if len(args) != 1 or not re.fullmatch(r"-?\d+", args[0]):
+            return "i entry wants one decimal integer"
+    elif kind == "u":
+        if len(args) != 1 or not re.fullmatch(r"\d+", args[0]):
+            return "u entry wants one unsigned decimal integer"
+    elif kind == "d":
+        if len(args) != 1 or not HEX64_RE.fullmatch(args[0]):
+            return "d entry wants one 16-digit hex word"
+    elif kind == "s":
+        if not args or not re.fullmatch(r"\d+", args[0]):
+            return "s entry wants a length"
+        length = int(args[0])
+        body = args[1] if len(args) == 2 else ""
+        if len(args) > 2 or len(body) != 2 * length:
+            return f"s entry body has {len(body)} hex digits, wants {2 * length}"
+        if body and not re.fullmatch(r"[0-9a-f]+", body):
+            return "s entry body is not lowercase hex"
+    elif kind == "dv":
+        if not args or not re.fullmatch(r"\d+", args[0]):
+            return "dv entry wants a count"
+        values = args[1:]
+        if len(values) != int(args[0]):
+            return f"dv count {args[0]} but {len(values)} values"
+        for v in values:
+            if not HEX64_RE.fullmatch(v):
+                return f"dv value {v!r} is not a 16-digit hex word"
+    elif kind == "iv":
+        if not args or not re.fullmatch(r"\d+", args[0]):
+            return "iv entry wants a count"
+        values = args[1:]
+        if len(values) != int(args[0]):
+            return f"iv count {args[0]} but {len(values)} values"
+        for v in values:
+            if not re.fullmatch(r"-?\d+", v):
+                return f"iv value {v!r} is not a decimal integer"
+    else:
+        return f"unknown entry type {kind!r}"
+    return None
+
+
+def check(path: str, expect_keys: list[str]) -> int:
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as err:
+        return fail(path, f"cannot read: {err}")
+
+    magic_end = blob.find(b"\n")
+    if magic_end < 0:
+        return fail(path, "truncated: no header line")
+    magic = blob[:magic_end].split(b" ")
+    if len(magic) != 2 or magic[0] != b"genet-checkpoint":
+        return fail(path, "not a genet checkpoint (bad magic line)")
+    try:
+        version = int(magic[1])
+    except ValueError:
+        return fail(path, f"malformed version {magic[1]!r}")
+    if version not in SUPPORTED_VERSIONS:
+        return fail(path, f"unsupported schema version {version}")
+
+    header_end = blob.find(b"\n", magic_end + 1)
+    if header_end < 0:
+        return fail(path, "truncated: no payload header line")
+    header = blob[magic_end + 1 : header_end].split(b" ")
+    if len(header) != 4 or header[0] != b"payload" or header[2] != b"crc32":
+        return fail(path, "malformed payload header line")
+    try:
+        declared_size = int(header[1])
+        declared_crc = int(header[3], 16)
+    except ValueError:
+        return fail(path, "malformed payload size or CRC")
+
+    payload = blob[header_end + 1 :]
+    if len(payload) != declared_size:
+        return fail(
+            path,
+            f"truncated or padded: header claims {declared_size} payload "
+            f"bytes, file has {len(payload)}",
+        )
+    actual_crc = zlib.crc32(payload)
+    if actual_crc != declared_crc:
+        return fail(
+            path,
+            f"corrupt: CRC mismatch (header {declared_crc:08x}, "
+            f"payload {actual_crc:08x})",
+        )
+
+    if payload and not payload.endswith(b"\n"):
+        return fail(path, "payload does not end with a newline")
+    seen: set[str] = set()
+    for lineno, line in enumerate(payload.split(b"\n")[:-1], start=1):
+        tokens = line.split(b" ")
+        if len(tokens) < 2:
+            return fail(path, f"payload line {lineno}: malformed entry")
+        if not KEY_RE.fullmatch(tokens[0]):
+            return fail(path, f"payload line {lineno}: bad key {tokens[0]!r}")
+        key = tokens[0].decode()
+        if key in seen:
+            return fail(path, f"payload line {lineno}: duplicate key {key!r}")
+        seen.add(key)
+        error = parse_entry(
+            key, tokens[1].decode(), [t.decode() for t in tokens[2:]]
+        )
+        if error is not None:
+            return fail(path, f"payload line {lineno} ({key}): {error}")
+
+    missing = [key for key in expect_keys if key not in seen]
+    if missing:
+        return fail(path, f"missing expected key(s): {', '.join(missing)}")
+    print(f"{path}: version {version}, {len(seen)} entries, crc {actual_crc:08x} OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a genet checkpoint file."
+    )
+    parser.add_argument("file")
+    parser.add_argument(
+        "--expect-key",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="require KEY to be present (repeatable)",
+    )
+    args = parser.parse_args()
+    return check(args.file, args.expect_key)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

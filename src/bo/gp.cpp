@@ -120,4 +120,53 @@ GaussianProcess::Prediction GaussianProcess::predict(
   return p;
 }
 
+void GaussianProcess::save_state(netgym::checkpoint::Snapshot& snap,
+                                 const std::string& prefix) const {
+  const std::size_t n = points_.size();
+  const std::size_t d = n > 0 ? points_.front().size() : 0;
+  snap.put_i64(prefix + "n", static_cast<std::int64_t>(n));
+  snap.put_i64(prefix + "d", static_cast<std::int64_t>(d));
+  std::vector<double> flat;
+  flat.reserve(n * d);
+  for (const auto& p : points_) flat.insert(flat.end(), p.begin(), p.end());
+  snap.put_doubles(prefix + "points", std::move(flat));
+  snap.put_doubles(prefix + "alpha", alpha_);
+  snap.put_doubles(prefix + "chol", chol_);
+  snap.put_double(prefix + "y_mean", y_mean_);
+  snap.put_double(prefix + "y_std", y_std_);
+}
+
+void GaussianProcess::load_state(const netgym::checkpoint::Snapshot& snap,
+                                 const std::string& prefix) {
+  using netgym::checkpoint::CheckpointError;
+  const std::int64_t n_raw = snap.get_i64(prefix + "n");
+  const std::int64_t d_raw = snap.get_i64(prefix + "d");
+  const std::vector<double>& flat = snap.get_doubles(prefix + "points");
+  const std::vector<double>& alpha = snap.get_doubles(prefix + "alpha");
+  const std::vector<double>& chol = snap.get_doubles(prefix + "chol");
+  const double y_mean = snap.get_double(prefix + "y_mean");
+  const double y_std = snap.get_double(prefix + "y_std");
+  if (n_raw < 0 || d_raw < 0) {
+    throw CheckpointError("GaussianProcess::load_state: negative shape (" +
+                          prefix + ")");
+  }
+  const std::size_t n = static_cast<std::size_t>(n_raw);
+  const std::size_t d = static_cast<std::size_t>(d_raw);
+  if (flat.size() != n * d || alpha.size() != n || chol.size() != n * n) {
+    throw CheckpointError(
+        "GaussianProcess::load_state: inconsistent fit shapes (" + prefix +
+        ")");
+  }
+  std::vector<std::vector<double>> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(i * d),
+                     flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * d));
+  }
+  points_ = std::move(points);
+  alpha_ = alpha;
+  chol_ = chol;
+  y_mean_ = y_mean;
+  y_std_ = y_std;
+}
+
 }  // namespace bo

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <string>
 #include <vector>
+
+#include "netgym/checkpoint.hpp"
 
 namespace bo {
 
@@ -8,7 +11,7 @@ namespace bo {
 /// the unit cube, the surrogate model behind the Bayesian-optimization
 /// search of S4.2. Targets are standardized internally, so the kernel's
 /// signal variance is relative to the observed spread.
-class GaussianProcess {
+class GaussianProcess : public netgym::checkpoint::Serializable {
  public:
   struct Options {
     double length_scale = 0.25;
@@ -34,6 +37,14 @@ class GaussianProcess {
 
   bool fitted() const { return !points_.empty(); }
   std::size_t num_points() const { return points_.size(); }
+
+  /// Checkpoint hooks: persist the exact fitted state (points, alpha, the
+  /// Cholesky factor, target standardization) so a restored GP predicts
+  /// bit-identically without refitting. An unfitted GP round-trips as n = 0.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   double kernel(const std::vector<double>& a,

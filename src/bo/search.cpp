@@ -95,6 +95,74 @@ void BayesianOptimizer::update(const std::vector<double>& x, double value) {
   }
 }
 
+void BayesianOptimizer::save_state(netgym::checkpoint::Snapshot& snap,
+                                   const std::string& prefix) const {
+  const std::size_t n = points_.size();
+  snap.put_i64(prefix + "dims", static_cast<std::int64_t>(dims_));
+  snap.put_i64(prefix + "n", static_cast<std::int64_t>(n));
+  std::vector<double> flat;
+  flat.reserve(n * static_cast<std::size_t>(dims_));
+  for (const auto& p : points_) flat.insert(flat.end(), p.begin(), p.end());
+  snap.put_doubles(prefix + "points", std::move(flat));
+  snap.put_doubles(prefix + "values", values_);
+  snap.put_doubles(prefix + "best_point", best_point_);
+  snap.put_double(prefix + "best_value", best_value_);
+  snap.put_string(prefix + "rng", rng_.state());
+  snap.put_i64(prefix + "gp_dirty", gp_dirty_ ? 1 : 0);
+  gp_.save_state(snap, prefix + "gp/");
+}
+
+void BayesianOptimizer::load_state(const netgym::checkpoint::Snapshot& snap,
+                                   const std::string& prefix) {
+  using netgym::checkpoint::CheckpointError;
+  const std::int64_t dims = snap.get_i64(prefix + "dims");
+  const std::int64_t n_raw = snap.get_i64(prefix + "n");
+  const std::vector<double>& flat = snap.get_doubles(prefix + "points");
+  const std::vector<double>& values = snap.get_doubles(prefix + "values");
+  const std::vector<double>& best_point =
+      snap.get_doubles(prefix + "best_point");
+  const double best_value = snap.get_double(prefix + "best_value");
+  const std::int64_t gp_dirty = snap.get_i64(prefix + "gp_dirty");
+  if (dims != dims_) {
+    throw CheckpointError(
+        "BayesianOptimizer::load_state: dimensionality mismatch (" + prefix +
+        "dims)");
+  }
+  if (n_raw < 0) {
+    throw CheckpointError("BayesianOptimizer::load_state: negative count (" +
+                          prefix + "n)");
+  }
+  const std::size_t n = static_cast<std::size_t>(n_raw);
+  const std::size_t d = static_cast<std::size_t>(dims_);
+  if (flat.size() != n * d || values.size() != n ||
+      (!best_point.empty() && best_point.size() != d)) {
+    throw CheckpointError(
+        "BayesianOptimizer::load_state: inconsistent history shapes (" +
+        prefix + ")");
+  }
+  netgym::Rng rng = rng_;
+  try {
+    rng.set_state(snap.get_string(prefix + "rng"));
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("BayesianOptimizer::load_state: ") +
+                          e.what() + " (" + prefix + "rng)");
+  }
+  GaussianProcess gp = gp_;
+  gp.load_state(snap, prefix + "gp/");
+
+  points_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    points_[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(i * d),
+                      flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * d));
+  }
+  values_ = values;
+  best_point_ = best_point;
+  best_value_ = best_value;
+  rng_ = rng;
+  gp_ = std::move(gp);
+  gp_dirty_ = gp_dirty != 0;
+}
+
 RandomSearch::RandomSearch(int dims, std::uint64_t seed)
     : dims_(dims), rng_(seed) {
   if (dims <= 0) throw std::invalid_argument("RandomSearch: dims must be > 0");

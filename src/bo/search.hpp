@@ -36,7 +36,8 @@ class Maximizer {
 /// acquisition, maximized over a random candidate set (plus local jitter
 /// around the incumbent). This is Genet's sequencing-module search (S4.2);
 /// it is restarted from scratch for every new RL model snapshot.
-class BayesianOptimizer : public Maximizer {
+class BayesianOptimizer : public Maximizer,
+                          public netgym::checkpoint::Serializable {
  public:
   enum class Acquisition {
     kExpectedImprovement,  ///< EI (default; what Genet uses)
@@ -58,6 +59,15 @@ class BayesianOptimizer : public Maximizer {
 
   std::vector<double> propose() override;
   void update(const std::vector<double>& x, double value) override;
+
+  /// Checkpoint hooks: persist the evaluation history, incumbent, RNG stream,
+  /// and the GP surrogate, so a resumed search proposes the exact points an
+  /// uninterrupted one would. load_state validates dimensionality and shape
+  /// consistency before mutating anything.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   double acquisition_value(const GaussianProcess::Prediction& p) const;

@@ -33,6 +33,12 @@ CurriculumScheme::Selection bo_search(const TaskAdapter& task,
 
 }  // namespace
 
+void CurriculumScheme::save_state(netgym::checkpoint::Snapshot&,
+                                  const std::string&) const {}
+
+void CurriculumScheme::load_state(const netgym::checkpoint::Snapshot&,
+                                  const std::string&) {}
+
 GenetScheme::GenetScheme(std::string baseline_name, SearchOptions options)
     : baseline_name_(std::move(baseline_name)), options_(options) {}
 
@@ -75,6 +81,29 @@ CurriculumScheme::Selection SelfPlayScheme::select(
     return gap_between(task, current_policy, reference, config,
                        options_.envs_per_eval, rng);
   });
+}
+
+void SelfPlayScheme::save_state(netgym::checkpoint::Snapshot& snap,
+                                const std::string& prefix) const {
+  snap.put_i64(prefix + "has_reference", reference_params_.empty() ? 0 : 1);
+  snap.put_doubles(prefix + "reference_params", reference_params_);
+  snap.put_double(prefix + "reference_score", reference_score_);
+}
+
+void SelfPlayScheme::load_state(const netgym::checkpoint::Snapshot& snap,
+                                const std::string& prefix) {
+  using netgym::checkpoint::CheckpointError;
+  const std::int64_t has_reference = snap.get_i64(prefix + "has_reference");
+  const std::vector<double>& params =
+      snap.get_doubles(prefix + "reference_params");
+  const double score = snap.get_double(prefix + "reference_score");
+  if ((has_reference != 0) != !params.empty()) {
+    throw CheckpointError(
+        "SelfPlayScheme::load_state: has_reference inconsistent with stored "
+        "parameters (" + prefix + ")");
+  }
+  reference_params_ = params;
+  reference_score_ = score;
 }
 
 EnsembleGenetScheme::EnsembleGenetScheme(
@@ -244,11 +273,71 @@ CurriculumRound CurriculumTrainer::run_round() {
 
 std::vector<CurriculumRound> CurriculumTrainer::run() {
   std::vector<CurriculumRound> records;
-  records.reserve(static_cast<std::size_t>(options_.rounds));
-  for (int r = 0; r < options_.rounds; ++r) {
+  if (round_ < options_.rounds) {
+    records.reserve(static_cast<std::size_t>(options_.rounds - round_));
+  }
+  // Start from round_, not 0: a freshly constructed trainer runs the full
+  // curriculum, a checkpoint-restored one runs exactly the remaining rounds.
+  for (int r = round_; r < options_.rounds; ++r) {
     records.push_back(run_round());
   }
   return records;
+}
+
+void CurriculumTrainer::save_state(netgym::checkpoint::Snapshot& snap,
+                                   const std::string& prefix) const {
+  snap.put_string(prefix + "scheme", scheme_->name());
+  snap.put_i64(prefix + "round", round_);
+  snap.put_string(prefix + "rng", rng_.state());
+  dist_.save_state(snap, prefix + "dist/");
+  trainer_->save_state(snap, prefix + "trainer/");
+  scheme_->save_state(snap, prefix + "scheme_state/");
+}
+
+void CurriculumTrainer::load_state(const netgym::checkpoint::Snapshot& snap,
+                                   const std::string& prefix) {
+  using netgym::checkpoint::CheckpointError;
+  // Validation order puts everything fallible before the RL trainer's own
+  // (internally transactional) load, so no mismatch can leave the trainer
+  // partially updated.
+  const std::string& scheme_name = snap.get_string(prefix + "scheme");
+  if (scheme_name != scheme_->name()) {
+    throw CheckpointError("CurriculumTrainer::load_state: snapshot is for "
+                          "scheme '" + scheme_name + "', this trainer runs '" +
+                          scheme_->name() + "'");
+  }
+  const std::int64_t round = snap.get_i64(prefix + "round");
+  if (round < 0 || round > options_.rounds) {
+    throw CheckpointError(
+        "CurriculumTrainer::load_state: round index out of range (" + prefix +
+        "round)");
+  }
+  netgym::Rng rng = rng_;
+  try {
+    rng.set_state(snap.get_string(prefix + "rng"));
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("CurriculumTrainer::load_state: ") +
+                          e.what() + " (" + prefix + "rng)");
+  }
+  netgym::ConfigDistribution dist = dist_;
+  dist.load_state(snap, prefix + "dist/");
+  scheme_->load_state(snap, prefix + "scheme_state/");
+  trainer_->load_state(snap, prefix + "trainer/");
+
+  rng_ = rng;
+  dist_ = std::move(dist);
+  round_ = static_cast<int>(round);
+}
+
+void CurriculumTrainer::save_checkpoint(const std::string& path) const {
+  netgym::checkpoint::Snapshot snap;
+  save_state(snap, "");
+  netgym::checkpoint::write_file(snap, path);
+}
+
+void CurriculumTrainer::load_checkpoint(const std::string& path) {
+  const netgym::checkpoint::Snapshot snap = netgym::checkpoint::read_file(path);
+  load_state(snap, "");
 }
 
 std::unique_ptr<rl::ActorCriticBase> train_traditional(

@@ -6,6 +6,7 @@
 
 #include "bo/search.hpp"
 #include "genet/adapter.hpp"
+#include "netgym/checkpoint.hpp"
 #include "netgym/config.hpp"
 #include "rl/trainer.hpp"
 
@@ -33,6 +34,15 @@ class CurriculumScheme {
   virtual Selection select(const TaskAdapter& task,
                            netgym::Policy& current_policy, int round,
                            netgym::Rng& rng) = 0;
+
+  /// Checkpoint hooks for schemes that carry state across rounds (only
+  /// SelfPlayScheme today). The defaults are no-ops so stateless schemes
+  /// need nothing; CurriculumTrainer calls these under its "scheme_state/"
+  /// prefix when saving/restoring a run.
+  virtual void save_state(netgym::checkpoint::Snapshot& snap,
+                          const std::string& prefix) const;
+  virtual void load_state(const netgym::checkpoint::Snapshot& snap,
+                          const std::string& prefix);
 };
 
 /// Knobs of the BO-driven schemes.
@@ -94,6 +104,13 @@ class SelfPlayScheme : public CurriculumScheme {
 
   /// Probe reward of the stored reference snapshot (for tests/diagnostics).
   double reference_score() const { return reference_score_; }
+
+  /// Persist/restore the frozen reference snapshot and its probe score, so a
+  /// resumed self-play curriculum keeps competing against the same opponent.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   SearchOptions options_;
@@ -187,13 +204,15 @@ struct CurriculumRound {
 /// Algorithm 2: alternate RL training on the current distribution with
 /// curriculum selection and promotion. Works for any CurriculumScheme; with
 /// GenetScheme this is Genet end-to-end.
-class CurriculumTrainer {
+class CurriculumTrainer : public netgym::checkpoint::Serializable {
  public:
   CurriculumTrainer(const TaskAdapter& task,
                     std::unique_ptr<CurriculumScheme> scheme,
                     CurriculumOptions options = {});
 
-  /// Run the full curriculum; returns per-round records.
+  /// Run the curriculum from the current round (0 for a fresh trainer, the
+  /// snapshot's round after `load_checkpoint`) to `options.rounds`; returns
+  /// the records of the rounds executed by this call.
   std::vector<CurriculumRound> run();
 
   /// Run one round (train + select + promote); exposed for step-by-step
@@ -204,6 +223,22 @@ class CurriculumTrainer {
   rl::MlpPolicy& policy() { return trainer_->policy(); }
   const netgym::ConfigDistribution& distribution() const { return dist_; }
   int rounds_completed() const { return round_; }
+
+  /// Checkpoint hooks covering the whole curriculum run: scheme identity
+  /// (validated on load), round index, curriculum RNG, training
+  /// distribution, RL trainer, and scheme state. A defect anywhere throws
+  /// CheckpointError with the RL trainer guaranteed untouched.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
+
+  /// Write/read a whole-run snapshot via the crash-safe file format. A run
+  /// killed between rounds resumes bit-identically: load the checkpoint into
+  /// a freshly constructed trainer (same task/scheme/options) and call
+  /// `run()` to execute the remaining rounds.
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
 
  private:
   const TaskAdapter& task_;

@@ -242,6 +242,19 @@ void AbrAdversary::train() {
   victim_.set_greedy(was_greedy);
 }
 
+void AbrAdversary::save_state(netgym::checkpoint::Snapshot& snap,
+                              const std::string& prefix) const {
+  trainer_->save_state(snap, prefix + "trainer/");
+  snap.put_double(prefix + "last_objective", last_objective_);
+}
+
+void AbrAdversary::load_state(const netgym::checkpoint::Snapshot& snap,
+                              const std::string& prefix) {
+  const double last_objective = snap.get_double(prefix + "last_objective");
+  trainer_->load_state(snap, prefix + "trainer/");
+  last_objective_ = last_objective;
+}
+
 netgym::Trace AbrAdversary::generate(netgym::Rng& rng) {
   const bool was_greedy = victim_.greedy();
   victim_.set_greedy(true);

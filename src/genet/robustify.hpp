@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "genet/adapter.hpp"
+#include "netgym/checkpoint.hpp"
 #include "netgym/trace.hpp"
 #include "rl/policy.hpp"
 #include "rl/trainer.hpp"
@@ -31,7 +32,7 @@ struct RobustifyOptions {
 /// will see, the (frozen) agent picks a bitrate, and at the end of the
 /// session the adversary receives
 ///     (optimal - agent reward) / chunks - rho * mean |delta bandwidth|.
-class AbrAdversary {
+class AbrAdversary : public netgym::checkpoint::Serializable {
  public:
   /// `victim` is the frozen ABR policy being attacked (greedy decisions).
   AbrAdversary(rl::MlpPolicy& victim, RobustifyOptions options,
@@ -49,6 +50,14 @@ class AbrAdversary {
   double last_objective() const { return last_objective_; }
 
   const RobustifyOptions& options() const { return options_; }
+
+  /// Checkpoint hooks: the adversary's durable state is its generator
+  /// trainer plus the last-objective diagnostic (the frozen victim is
+  /// external and restored by whoever owns it).
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   rl::MlpPolicy& victim_;

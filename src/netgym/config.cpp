@@ -152,4 +152,53 @@ void ConfigDistribution::promote(const Config& config, double w) {
 
 double ConfigDistribution::uniform_weight() const { return uniform_weight_; }
 
+void ConfigDistribution::save_state(checkpoint::Snapshot& snap,
+                                    const std::string& prefix) const {
+  snap.put_double(prefix + "uniform_weight", uniform_weight_);
+  snap.put_i64(prefix + "num_points",
+               static_cast<std::int64_t>(points_.size()));
+  for (std::size_t k = 0; k < points_.size(); ++k) {
+    const std::string base = prefix + "point" + std::to_string(k) + "/";
+    snap.put_doubles(base + "values", points_[k].first.values);
+    snap.put_double(base + "weight", points_[k].second);
+  }
+}
+
+void ConfigDistribution::load_state(const checkpoint::Snapshot& snap,
+                                    const std::string& prefix) {
+  using checkpoint::CheckpointError;
+  const double uniform_weight = snap.get_double(prefix + "uniform_weight");
+  const std::int64_t num_points = snap.get_i64(prefix + "num_points");
+  if (!(uniform_weight >= 0.0 && uniform_weight <= 1.0)) {
+    throw CheckpointError(
+        "ConfigDistribution::load_state: uniform weight outside [0,1] (" +
+        prefix + "uniform_weight)");
+  }
+  if (num_points < 0) {
+    throw CheckpointError(
+        "ConfigDistribution::load_state: negative point count (" + prefix +
+        "num_points)");
+  }
+  std::vector<std::pair<Config, double>> points;
+  points.reserve(static_cast<std::size_t>(num_points));
+  for (std::int64_t k = 0; k < num_points; ++k) {
+    const std::string base = prefix + "point" + std::to_string(k) + "/";
+    const std::vector<double>& values = snap.get_doubles(base + "values");
+    const double weight = snap.get_double(base + "weight");
+    if (values.size() != space_.dims()) {
+      throw CheckpointError(
+          "ConfigDistribution::load_state: promoted config arity mismatch (" +
+          base + "values)");
+    }
+    if (!(weight >= 0.0)) {
+      throw CheckpointError(
+          "ConfigDistribution::load_state: negative component weight (" +
+          base + "weight)");
+    }
+    points.emplace_back(Config{values}, weight);
+  }
+  uniform_weight_ = uniform_weight;
+  points_ = std::move(points);
+}
+
 }  // namespace netgym

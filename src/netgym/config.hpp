@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "netgym/checkpoint.hpp"
 #include "netgym/rng.hpp"
 
 namespace netgym {
@@ -76,7 +77,7 @@ class ConfigSpace {
 /// uniform distribution over a base space and (b) point configurations
 /// promoted by the curriculum. Genet's update rule (S4.2) is
 /// `dist <- (1-w) * dist + w * {new config}`.
-class ConfigDistribution {
+class ConfigDistribution : public checkpoint::Serializable {
  public:
   explicit ConfigDistribution(ConfigSpace space);
 
@@ -99,6 +100,15 @@ class ConfigDistribution {
   const std::vector<std::pair<Config, double>>& promoted() const {
     return points_;
   }
+
+  /// Checkpoint hooks: persist the mixture (uniform weight plus every
+  /// promoted config and its weight). The space itself is rebuilt from the
+  /// experiment definition, not the snapshot; load validates each promoted
+  /// config's arity against this distribution's space before mutating.
+  void save_state(checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   ConfigSpace space_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <locale>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace netgym {
@@ -62,6 +64,25 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::fork() {
   return Rng(engine_());
+}
+
+std::string Rng::state() const {
+  // The classic locale pins the textual form (plain space-separated decimal
+  // words) regardless of any global locale the host application installed.
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << engine_;
+  return out.str();
+}
+
+void Rng::set_state(const std::string& state) {
+  std::istringstream in(state);
+  in.imbue(std::locale::classic());
+  std::mt19937_64 parsed;
+  if (!(in >> parsed)) {
+    throw std::invalid_argument("Rng::set_state: malformed engine state");
+  }
+  engine_ = parsed;
 }
 
 }  // namespace netgym

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace netgym {
@@ -39,6 +40,16 @@ class Rng {
   /// Derive an independent child generator; used to hand each parallel
   /// component its own stream.
   Rng fork();
+
+  /// Full engine state as a portable text string (the standard mt19937_64
+  /// stream representation), used by the checkpoint subsystem to make
+  /// resumed runs draw the exact same stream as uninterrupted ones.
+  std::string state() const;
+
+  /// Restore a state captured by `state()`. Parses into a temporary first,
+  /// so a malformed string throws std::invalid_argument without perturbing
+  /// the current stream.
+  void set_state(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

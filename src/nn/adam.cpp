@@ -46,4 +46,36 @@ void Adam::reset() {
   t_ = 0;
 }
 
+void Adam::save_state(netgym::checkpoint::Snapshot& snap,
+                      const std::string& prefix) const {
+  snap.put_doubles(prefix + "m", m_);
+  snap.put_doubles(prefix + "v", v_);
+  snap.put_i64(prefix + "t", static_cast<std::int64_t>(t_));
+  snap.put_double(prefix + "lr", options_.lr);
+}
+
+void Adam::load_state(const netgym::checkpoint::Snapshot& snap,
+                      const std::string& prefix) {
+  const std::vector<double>& m = snap.get_doubles(prefix + "m");
+  const std::vector<double>& v = snap.get_doubles(prefix + "v");
+  const std::int64_t t = snap.get_i64(prefix + "t");
+  const double lr = snap.get_double(prefix + "lr");
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    throw netgym::checkpoint::CheckpointError(
+        "Adam::load_state: moment vector size mismatch (" + prefix + ")");
+  }
+  if (t < 0) {
+    throw netgym::checkpoint::CheckpointError(
+        "Adam::load_state: negative step counter (" + prefix + "t)");
+  }
+  if (!(lr > 0)) {
+    throw netgym::checkpoint::CheckpointError(
+        "Adam::load_state: lr must be > 0 (" + prefix + "lr)");
+  }
+  m_ = m;
+  v_ = v;
+  t_ = static_cast<long>(t);
+  options_.lr = lr;
+}
+
 }  // namespace nn

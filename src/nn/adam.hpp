@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
+
+#include "netgym/checkpoint.hpp"
 
 namespace nn {
 
@@ -9,7 +12,7 @@ namespace nn {
 /// update rule used by both of our policy-gradient trainers. One `Adam`
 /// instance is bound to one parameter vector's size; `step` applies a single
 /// update from the accumulated gradients.
-class Adam {
+class Adam : public netgym::checkpoint::Serializable {
  public:
   struct Options {
     double lr = 1e-3;
@@ -32,6 +35,14 @@ class Adam {
 
   const Options& options() const { return options_; }
   void set_learning_rate(double lr) { options_.lr = lr; }
+
+  /// Checkpoint hooks: persist the moment estimates, step counter, and the
+  /// (mutable) learning rate; load validates moment-vector sizes first so a
+  /// mismatched snapshot leaves the optimizer untouched.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   Options options_;

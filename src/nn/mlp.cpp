@@ -133,6 +133,37 @@ void Mlp::backward(const std::vector<double>& grad_output) {
 
 void Mlp::zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0); }
 
+void Mlp::save_state(netgym::checkpoint::Snapshot& snap,
+                     const std::string& prefix) const {
+  std::vector<std::int64_t> sizes(sizes_.begin(), sizes_.end());
+  snap.put_i64s(prefix + "sizes", std::move(sizes));
+  snap.put_i64(prefix + "activation", static_cast<std::int64_t>(activation_));
+  snap.put_doubles(prefix + "params", params_);
+}
+
+void Mlp::load_state(const netgym::checkpoint::Snapshot& snap,
+                     const std::string& prefix) {
+  const std::vector<std::int64_t>& sizes = snap.get_i64s(prefix + "sizes");
+  const std::int64_t activation = snap.get_i64(prefix + "activation");
+  const std::vector<double>& params = snap.get_doubles(prefix + "params");
+  if (sizes.size() != sizes_.size() ||
+      !std::equal(sizes.begin(), sizes.end(), sizes_.begin())) {
+    throw netgym::checkpoint::CheckpointError(
+        "Mlp::load_state: layer sizes in snapshot do not match this network (" +
+        prefix + "sizes)");
+  }
+  if (activation != static_cast<std::int64_t>(activation_)) {
+    throw netgym::checkpoint::CheckpointError(
+        "Mlp::load_state: activation mismatch (" + prefix + "activation)");
+  }
+  if (params.size() != params_.size()) {
+    throw netgym::checkpoint::CheckpointError(
+        "Mlp::load_state: parameter count mismatch (" + prefix + "params)");
+  }
+  params_ = params;
+  has_forward_cache_ = false;
+}
+
 void Mlp::set_params(const std::vector<double>& params) {
   if (params.size() != params_.size()) {
     throw std::invalid_argument("Mlp::set_params: size mismatch");

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "netgym/checkpoint.hpp"
 #include "netgym/rng.hpp"
 
 namespace nn {
@@ -23,7 +24,7 @@ enum class Activation { kTanh, kRelu };
 /// `forward` caches per-layer activations; `backward` consumes that cache, so
 /// the call pattern per sample is forward -> backward. Gradients accumulate
 /// across samples until `zero_grad()`.
-class Mlp {
+class Mlp : public netgym::checkpoint::Serializable {
  public:
   /// `sizes` lists the widths of every layer, e.g. {10, 32, 32, 6} is a net
   /// with 10 inputs, two hidden layers of 32, and 6 outputs. Weights are
@@ -51,6 +52,15 @@ class Mlp {
   void set_params(const std::vector<double>& params);
 
   std::size_t num_params() const { return params_.size(); }
+
+  /// Checkpoint hooks: saves the topology (sizes, activation) alongside the
+  /// exact parameter bit patterns; load validates the topology against this
+  /// network before touching `params_` (gradients and the forward cache are
+  /// transient and deliberately not persisted).
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   std::vector<int> sizes_;

@@ -103,4 +103,25 @@ double RunningNorm::normalize(double x) const {
   return (x - mean_) / stddev();
 }
 
+void RunningNorm::save_state(netgym::checkpoint::Snapshot& snap,
+                             const std::string& prefix) const {
+  snap.put_i64(prefix + "count", static_cast<std::int64_t>(count_));
+  snap.put_double(prefix + "mean", mean_);
+  snap.put_double(prefix + "m2", m2_);
+}
+
+void RunningNorm::load_state(const netgym::checkpoint::Snapshot& snap,
+                             const std::string& prefix) {
+  const std::int64_t count = snap.get_i64(prefix + "count");
+  const double mean = snap.get_double(prefix + "mean");
+  const double m2 = snap.get_double(prefix + "m2");
+  if (count < 0) {
+    throw netgym::checkpoint::CheckpointError(
+        "RunningNorm::load_state: negative count (" + prefix + "count)");
+  }
+  count_ = static_cast<long>(count);
+  mean_ = mean;
+  m2_ = m2;
+}
+
 }  // namespace rl

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "netgym/checkpoint.hpp"
 #include "netgym/env.hpp"
 
 namespace rl {
@@ -50,13 +52,21 @@ void normalize(std::vector<double>& xs);
 /// Running mean/variance tracker (Welford); used to normalize returns so the
 /// same trainer hyperparameters work across reward scales that differ by
 /// orders of magnitude between the three use cases.
-class RunningNorm {
+class RunningNorm : public netgym::checkpoint::Serializable {
  public:
   void update(double x);
   double normalize(double x) const;
   double mean() const { return mean_; }
   double stddev() const;
   long count() const { return count_; }
+
+  /// Checkpoint hooks: the tracker is three numbers (count, mean, M2); both
+  /// directions preserve the exact bit patterns so a resumed trainer scales
+  /// rewards identically to an uninterrupted one.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  private:
   long count_ = 0;

@@ -95,6 +95,63 @@ void ActorCriticBase::observe_returns(const std::vector<double>& returns) {
   for (double g : returns) return_norm_.update(g);
 }
 
+void ActorCriticBase::save_state(netgym::checkpoint::Snapshot& snap,
+                                 const std::string& prefix) const {
+  policy_.net().save_state(snap, prefix + "policy/");
+  critic_.save_state(snap, prefix + "critic/");
+  actor_opt_.save_state(snap, prefix + "actor_opt/");
+  critic_opt_.save_state(snap, prefix + "critic_opt/");
+  return_norm_.save_state(snap, prefix + "return_norm/");
+  snap.put_string(prefix + "rng", rng_.state());
+  snap.put_i64(prefix + "iterations_done",
+               static_cast<std::int64_t>(iterations_done_));
+  snap.put_i64(prefix + "iteration_count",
+               static_cast<std::int64_t>(iteration_count_));
+}
+
+void ActorCriticBase::load_state(const netgym::checkpoint::Snapshot& snap,
+                                 const std::string& prefix) {
+  using netgym::checkpoint::CheckpointError;
+  // Load into copies first: every sub-component validates and fills a
+  // throwaway, so a defect anywhere (missing key, shape mismatch, malformed
+  // RNG stream) throws before the commit block and the trainer is untouched.
+  nn::Mlp policy_net = policy_.net();
+  nn::Mlp critic = critic_;
+  nn::Adam actor_opt = actor_opt_;
+  nn::Adam critic_opt = critic_opt_;
+  RunningNorm return_norm = return_norm_;
+  netgym::Rng rng = rng_;
+
+  policy_net.load_state(snap, prefix + "policy/");
+  critic.load_state(snap, prefix + "critic/");
+  actor_opt.load_state(snap, prefix + "actor_opt/");
+  critic_opt.load_state(snap, prefix + "critic_opt/");
+  return_norm.load_state(snap, prefix + "return_norm/");
+  try {
+    rng.set_state(snap.get_string(prefix + "rng"));
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("ActorCriticBase::load_state: ") +
+                          e.what() + " (" + prefix + "rng)");
+  }
+  const std::int64_t iterations_done = snap.get_i64(prefix + "iterations_done");
+  const std::int64_t iteration_count = snap.get_i64(prefix + "iteration_count");
+  if (iterations_done < 0 || iteration_count < 0) {
+    throw CheckpointError(
+        "ActorCriticBase::load_state: negative iteration counter (" + prefix +
+        ")");
+  }
+
+  // Commit: nothing below throws.
+  policy_.net() = std::move(policy_net);
+  critic_ = std::move(critic);
+  actor_opt_ = std::move(actor_opt);
+  critic_opt_ = std::move(critic_opt);
+  return_norm_ = return_norm;
+  rng_ = rng;
+  iterations_done_ = static_cast<long>(iterations_done);
+  iteration_count_ = static_cast<long>(iteration_count);
+}
+
 double ActorCriticBase::critic_value(const netgym::Observation& obs) {
   return critic_.forward(obs)[0];
 }

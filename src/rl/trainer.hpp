@@ -60,11 +60,11 @@ RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
 /// Common machinery of the actor-critic trainers: actor/critic networks,
 /// their optimizers, and a running return scale that keeps gradients
 /// comparable across the three tasks' very different reward magnitudes.
-class ActorCriticBase {
+class ActorCriticBase : public netgym::checkpoint::Serializable {
  public:
   ActorCriticBase(int obs_size, int action_count, TrainerOptions options,
                   std::uint64_t seed);
-  virtual ~ActorCriticBase() = default;
+  ~ActorCriticBase() override = default;
 
   /// Run one training iteration (collect + update) on envs from `factory`,
   /// then publish run telemetry: registry counters/timers (`rl.iterations`,
@@ -80,6 +80,21 @@ class ActorCriticBase {
 
   std::vector<double> snapshot() const { return policy_.snapshot(); }
   void restore(const std::vector<double>& params) { policy_.restore(params); }
+
+  /// Total train_iteration calls so far (survives checkpoint/resume; used by
+  /// resuming callers to know how many iterations remain).
+  long iterations() const { return iteration_count_; }
+
+  /// Checkpoint hooks covering *all* trainer state: actor and critic
+  /// networks, both Adam optimizers, the return normalizer, the entropy and
+  /// telemetry iteration clocks, and the RNG stream. load_state validates
+  /// every shape against this trainer's configuration up front, so a
+  /// mismatched or corrupted snapshot throws CheckpointError without
+  /// mutating anything.
+  void save_state(netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) const override;
+  void load_state(const netgym::checkpoint::Snapshot& snap,
+                  const std::string& prefix) override;
 
  protected:
   /// Algorithm-specific collect + update step; implementations fill the

@@ -208,6 +208,40 @@ TEST(ParallelDeterminism, TracingAndFlightAreBitIdenticalAcrossThreads) {
   netgym::flight::Recorder::instance().reset();
 }
 
+TEST(ParallelDeterminism, CheckpointingIsObservationalAndThreadInvariant) {
+  // Checkpoint saves are read-only with respect to training state: a
+  // curriculum run that snapshots to disk after every round -- and reloads
+  // its own snapshot mid-run -- must stay bit-identical to the plain run at
+  // every thread count.
+  PoolGuard guard;
+  const std::string path =
+      ::testing::TempDir() + "determinism_checkpoint.ckpt";
+  netgym::set_num_threads(1);
+  const std::vector<double> baseline = run_two_round_curriculum();
+
+  for (int threads : kThreadCounts) {
+    netgym::set_num_threads(threads);
+    LbAdapter adapter(1);
+    genet::SearchOptions search;
+    search.bo_trials = 4;
+    search.envs_per_eval = 2;
+    genet::CurriculumOptions options;
+    options.rounds = 2;
+    options.iters_per_round = 2;
+    options.seed = 11;
+    genet::CurriculumTrainer trainer(
+        adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+    trainer.run_round();
+    trainer.save_checkpoint(path);
+    trainer.load_checkpoint(path);  // reload mid-run: must be a no-op
+    trainer.run_round();
+    trainer.save_checkpoint(path);
+    EXPECT_EQ(trainer.trainer().snapshot(), baseline)
+        << threads << " threads";
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ParallelDeterminism, NonCloneablePoliciesStillEvaluateDeterministically) {
   // A policy without clone() (the default) forces the serial path even when
   // the pool is wide; results must match the 1-thread run bit-for-bit.

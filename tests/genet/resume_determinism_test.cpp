@@ -1,0 +1,299 @@
+// The headline invariant of the checkpoint subsystem (ISSUE 4): a curriculum
+// run killed at any round boundary and resumed from its snapshot -- into a
+// freshly constructed trainer, possibly at a different thread count --
+// produces bit-identical weights, round records, and evaluation rewards to a
+// run that was never interrupted. Also pins the failure side: corrupted,
+// truncated, or mismatched snapshots are rejected with CheckpointError
+// without partially mutating the trainer, which keeps training usable.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/checkpoint.hpp"
+#include "netgym/parallel.hpp"
+
+namespace {
+
+namespace ckpt = netgym::checkpoint;
+
+struct PoolGuard {
+  ~PoolGuard() { netgym::set_num_threads(0); }
+};
+
+constexpr int kRounds = 6;
+
+/// One curriculum run under test: a small LB Genet curriculum, heavy enough
+/// that every kind of durable state (policy, critic, optimizers, return
+/// norm, RNG streams, distribution, round clock) evolves across rounds.
+struct TrainerRig {
+  genet::LbAdapter adapter{1};
+  std::unique_ptr<genet::CurriculumTrainer> trainer;
+
+  TrainerRig() {
+    genet::SearchOptions search;
+    search.bo_trials = 2;
+    search.envs_per_eval = 2;
+    genet::CurriculumOptions options;
+    options.rounds = kRounds;
+    options.iters_per_round = 1;
+    options.seed = 11;
+    trainer = std::make_unique<genet::CurriculumTrainer>(
+        adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  }
+};
+
+/// Everything we compare bit-for-bit between runs.
+struct Outcome {
+  std::vector<double> params;
+  std::vector<genet::CurriculumRound> records;
+  std::string final_state;  // encoded snapshot: optimizers, RNG, dist, ...
+};
+
+void append_records(Outcome& outcome,
+                    const std::vector<genet::CurriculumRound>& records) {
+  outcome.records.insert(outcome.records.end(), records.begin(),
+                         records.end());
+}
+
+Outcome finish(TrainerRig& run, Outcome outcome) {
+  outcome.params = run.trainer->trainer().snapshot();
+  ckpt::Snapshot snap;
+  run.trainer->save_state(snap, "");
+  outcome.final_state = snap.encode();
+  return outcome;
+}
+
+Outcome run_uninterrupted() {
+  TrainerRig run;
+  Outcome outcome;
+  append_records(outcome, run.trainer->run());
+  return finish(run, std::move(outcome));
+}
+
+/// Simulate a crash after `kill_round` rounds: run that far, snapshot to
+/// disk, destroy the whole trainer, rebuild it from scratch, load the
+/// snapshot, and run to completion.
+Outcome run_killed_at(int kill_round, const std::string& path) {
+  Outcome outcome;
+  {
+    TrainerRig first;
+    for (int r = 0; r < kill_round; ++r) {
+      outcome.records.push_back(first.trainer->run_round());
+    }
+    first.trainer->save_checkpoint(path);
+  }  // the "kill": every live object is gone
+  TrainerRig resumed;
+  resumed.trainer->load_checkpoint(path);
+  EXPECT_EQ(resumed.trainer->rounds_completed(), kill_round);
+  append_records(outcome, resumed.trainer->run());
+  return finish(resumed, std::move(outcome));
+}
+
+void expect_same_outcome(const Outcome& got, const Outcome& want) {
+  ASSERT_EQ(got.params.size(), want.params.size());
+  for (std::size_t i = 0; i < got.params.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.params[i]),
+              std::bit_cast<std::uint64_t>(want.params[i]))
+        << "param " << i;
+  }
+  ASSERT_EQ(got.records.size(), want.records.size());
+  for (std::size_t i = 0; i < got.records.size(); ++i) {
+    EXPECT_EQ(got.records[i].round, want.records[i].round);
+    EXPECT_EQ(got.records[i].promoted.values, want.records[i].promoted.values)
+        << "round " << i;
+    EXPECT_EQ(got.records[i].selection_score, want.records[i].selection_score);
+    EXPECT_EQ(got.records[i].train_reward, want.records[i].train_reward);
+  }
+  // The strongest check: every byte of durable state (both optimizers'
+  // moments, the return normalizer, all RNG streams, the distribution)
+  // matches, not just the policy parameters.
+  EXPECT_EQ(got.final_state, want.final_state);
+}
+
+TEST(ResumeDeterminism, KillAndResumeMatchesUninterruptedAtAnyThreadCount) {
+  PoolGuard guard;
+  const std::string path = ::testing::TempDir() + "resume_determinism.ckpt";
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    netgym::set_num_threads(threads);
+    const Outcome baseline = run_uninterrupted();
+    for (int kill_round : {1, 3, 5}) {
+      SCOPED_TRACE("kill_round=" + std::to_string(kill_round));
+      expect_same_outcome(run_killed_at(kill_round, path), baseline);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeDeterminism, ResumeAtDifferentThreadCountIsStillBitIdentical) {
+  PoolGuard guard;
+  const std::string path = ::testing::TempDir() + "resume_threads.ckpt";
+  netgym::set_num_threads(1);
+  const Outcome baseline = run_uninterrupted();
+
+  // Crash at round 3 on 1 thread, resume on 4: the forked-stream contract
+  // makes thread count invisible to the result.
+  Outcome outcome;
+  {
+    TrainerRig first;
+    for (int r = 0; r < 3; ++r) {
+      outcome.records.push_back(first.trainer->run_round());
+    }
+    first.trainer->save_checkpoint(path);
+  }
+  netgym::set_num_threads(4);
+  TrainerRig resumed;
+  resumed.trainer->load_checkpoint(path);
+  append_records(outcome, resumed.trainer->run());
+  expect_same_outcome(finish(resumed, std::move(outcome)), baseline);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeDeterminism, SelfPlaySchemeStateSurvivesResume) {
+  // SelfPlayScheme is the one scheme with cross-round state (the frozen
+  // reference opponent); a resumed run must keep competing against the same
+  // opponent and stay bit-identical.
+  const auto run_selfplay = [](int kill_round, const std::string& path) {
+    genet::SearchOptions search;
+    search.bo_trials = 2;
+    search.envs_per_eval = 2;
+    genet::CurriculumOptions options;
+    options.rounds = 3;
+    options.iters_per_round = 1;
+    options.seed = 7;
+    genet::LbAdapter adapter(1);
+    std::vector<genet::CurriculumRound> records;
+    genet::CurriculumTrainer first(
+        adapter, std::make_unique<genet::SelfPlayScheme>(search), options);
+    for (int r = 0; r < kill_round; ++r) records.push_back(first.run_round());
+    if (kill_round < options.rounds) {
+      if (!path.empty()) {
+        first.save_checkpoint(path);
+        genet::CurriculumTrainer resumed(
+            adapter, std::make_unique<genet::SelfPlayScheme>(search), options);
+        resumed.load_checkpoint(path);
+        for (const auto& r : resumed.run()) records.push_back(r);
+        ckpt::Snapshot snap;
+        resumed.save_state(snap, "");
+        return std::make_pair(records, snap.encode());
+      }
+      for (const auto& r : first.run()) records.push_back(r);
+    }
+    ckpt::Snapshot snap;
+    first.save_state(snap, "");
+    return std::make_pair(records, snap.encode());
+  };
+
+  const std::string path = ::testing::TempDir() + "selfplay_resume.ckpt";
+  const auto baseline = run_selfplay(3, "");
+  const auto resumed = run_selfplay(1, path);
+  EXPECT_EQ(resumed.second, baseline.second);
+  ASSERT_EQ(resumed.first.size(), baseline.first.size());
+  for (std::size_t i = 0; i < baseline.first.size(); ++i) {
+    EXPECT_EQ(resumed.first[i].promoted.values,
+              baseline.first[i].promoted.values);
+    EXPECT_EQ(resumed.first[i].train_reward, baseline.first[i].train_reward);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- rejection behavior
+
+class CheckpointRejection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "rejection.ckpt";
+    run_.trainer->run_round();
+    run_.trainer->save_checkpoint(path_);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string file_contents() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void overwrite(const std::string& contents) {
+    std::ofstream out(path_, std::ios::binary);
+    out << contents;
+  }
+
+  std::string trainer_state() {
+    ckpt::Snapshot snap;
+    run_.trainer->save_state(snap, "");
+    return snap.encode();
+  }
+
+  TrainerRig run_;
+  std::string path_;
+};
+
+TEST_F(CheckpointRejection, CorruptedSnapshotIsRejectedWithoutMutation) {
+  std::string contents = file_contents();
+  contents[contents.size() / 2] ^= 0x01;  // flip one payload bit
+  overwrite(contents);
+
+  const std::string before = trainer_state();
+  EXPECT_THROW(run_.trainer->load_checkpoint(path_), ckpt::CheckpointError);
+  EXPECT_EQ(trainer_state(), before);
+
+  // The trainer is still fully usable: the next round runs normally.
+  EXPECT_EQ(run_.trainer->run_round().round, 1);
+}
+
+TEST_F(CheckpointRejection, TruncatedSnapshotIsRejectedWithoutMutation) {
+  const std::string contents = file_contents();
+  overwrite(contents.substr(0, contents.size() / 2));
+
+  const std::string before = trainer_state();
+  EXPECT_THROW(run_.trainer->load_checkpoint(path_), ckpt::CheckpointError);
+  EXPECT_EQ(trainer_state(), before);
+}
+
+TEST_F(CheckpointRejection, SchemeMismatchIsRejectedWithoutMutation) {
+  // A snapshot from a Genet-scheme run must not load into a CL3 trainer.
+  genet::CurriculumOptions options;
+  options.rounds = kRounds;
+  options.iters_per_round = 1;
+  options.seed = 11;
+  genet::SearchOptions search;
+  search.bo_trials = 2;
+  search.envs_per_eval = 2;
+  genet::CurriculumTrainer other(
+      run_.adapter, std::make_unique<genet::GapToOptimumScheme>(search),
+      options);
+  ckpt::Snapshot before;
+  other.save_state(before, "");
+  EXPECT_THROW(other.load_checkpoint(path_), ckpt::CheckpointError);
+  ckpt::Snapshot after;
+  other.save_state(after, "");
+  EXPECT_EQ(after.encode(), before.encode());
+}
+
+TEST_F(CheckpointRejection, OutOfRangeRoundIsRejected) {
+  // Patch the round counter in the (textual) payload to a value beyond
+  // options.rounds; everything else stays internally consistent.
+  std::string payload = ckpt::read_file(path_).encode();
+  const std::string needle = "round i 1\n";
+  const std::size_t at = payload.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  payload.replace(at, needle.size(), "round i 99\n");
+  const ckpt::Snapshot bad = ckpt::Snapshot::decode(payload);
+
+  const std::string before = trainer_state();
+  EXPECT_THROW(run_.trainer->load_state(bad, ""), ckpt::CheckpointError);
+  EXPECT_EQ(trainer_state(), before);
+}
+
+}  // namespace

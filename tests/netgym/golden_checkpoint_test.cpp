@@ -1,0 +1,103 @@
+// Backward-compatibility pins: the reference checkpoints committed under
+// tests/data/ were written by tools/make_golden_checkpoints.cpp at format
+// version 1 and must keep loading -- with every bit intact -- in every
+// future build. If one of these tests fails, the file format or a
+// component's save_state schema changed incompatibly; the fix is a version
+// bump with decode support for the old version, never regenerating the
+// goldens to match new behavior. Constants here mirror the generator; keep
+// them in sync.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/checkpoint.hpp"
+#include "netgym/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace {
+
+namespace ckpt = netgym::checkpoint;
+
+std::string data_path(const std::string& name) {
+  return std::string(GENET_TEST_DATA_DIR) + "/" + name;
+}
+
+const std::vector<double> kGoldenMlpParams = {
+    0.0,  -0.0, 0.125,  -0.5,    1.5, -2.25,
+    3.0,  0.75, -0.75,  std::numeric_limits<double>::denorm_min(),
+    2.0,  -3.5, 4.25,   -5.125,  6.0, 0.0078125,
+    -1.0};
+
+TEST(GoldenCheckpoint, ReferenceSnapshotStillLoads) {
+  const ckpt::Snapshot snap =
+      ckpt::read_file(data_path("golden_snapshot_v1.ckpt"));
+  EXPECT_EQ(snap.get_i64("counters/i"), -7);
+  EXPECT_EQ(snap.get_u64("counters/u"), 18446744073709551615ull);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(snap.get_double("values/pi")),
+            std::bit_cast<std::uint64_t>(3.141592653589793));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(snap.get_double("values/neg_zero")),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_TRUE(std::isnan(snap.get_double("values/nan")));
+  EXPECT_EQ(snap.get_string("name"), std::string("golden\n\x01", 8));
+  const std::vector<double>& weights = snap.get_doubles("weights");
+  ASSERT_EQ(weights.size(), 4u);
+  EXPECT_EQ(weights[0], 1.0);
+  EXPECT_EQ(weights[1], -2.5);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(weights[3]),
+            std::bit_cast<std::uint64_t>(
+                std::numeric_limits<double>::denorm_min()));
+  EXPECT_EQ(snap.get_i64s("steps"), (std::vector<std::int64_t>{-3, 0, 9}));
+}
+
+TEST(GoldenCheckpoint, ReferenceMlpLoadsWithExactParameterBits) {
+  netgym::Rng rng(0);
+  nn::Mlp mlp({2, 3, 2}, nn::Activation::kTanh, rng);
+  mlp.load_state(ckpt::read_file(data_path("golden_mlp_v1.ckpt")), "mlp/");
+  ASSERT_EQ(mlp.params().size(), kGoldenMlpParams.size());
+  for (std::size_t i = 0; i < kGoldenMlpParams.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(mlp.params()[i]),
+              std::bit_cast<std::uint64_t>(kGoldenMlpParams[i]))
+        << "param " << i;
+  }
+}
+
+TEST(GoldenCheckpoint, ReferenceRngStateReplaysTheRecordedStream) {
+  const ckpt::Snapshot snap = ckpt::read_file(data_path("golden_rng_v1.ckpt"));
+  netgym::Rng rng(0);
+  rng.set_state(snap.get_string("rng"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rng.engine()(), snap.get_u64("next" + std::to_string(i)))
+        << "draw " << i;
+  }
+}
+
+TEST(GoldenCheckpoint, ReferenceCurriculumCheckpointResumesAndFinishes) {
+  genet::LbAdapter adapter(1);
+  genet::SearchOptions search;
+  search.bo_trials = 2;
+  search.envs_per_eval = 2;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 1;
+  options.seed = 11;
+  genet::CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  trainer.load_checkpoint(data_path("golden_curriculum_v1.ckpt"));
+  EXPECT_EQ(trainer.rounds_completed(), 1);
+  EXPECT_EQ(trainer.distribution().num_promoted(), 1u);
+  // The resumed run must be able to finish its remaining round.
+  const auto records = trainer.run();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].round, 1);
+  EXPECT_EQ(trainer.rounds_completed(), 2);
+}
+
+}  // namespace

@@ -23,8 +23,11 @@
 
 #include <fstream>
 
+#include <filesystem>
+
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
+#include "netgym/checkpoint.hpp"
 #include "netgym/flight.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/stats.hpp"
@@ -43,6 +46,12 @@ commands:
   train   --task abr|cc|lb [--space 1|2|3] [--method rl|genet|cl1|cl2|cl3|ensemble]
           [--baseline NAME] [--iters N] [--rounds N] [--trials N] [--envs N]
           [--seed N] --out FILE
+          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+            crash-safe snapshots: with --checkpoint-dir (default: the
+            GENET_CHECKPOINT_DIR env var), training writes DIR/latest.ckpt
+            after every N curriculum rounds (method rl: every N iterations;
+            default 1). --resume restarts from DIR/latest.ckpt when present;
+            the resumed run is bit-identical to an uninterrupted one.
   eval    --task abr|cc|lb [--space 1|2|3] --model FILE
           [--envs N | --trace-set fcc|norway|cellular|ethernet [--split train|test]]
   search  --task abr|cc|lb [--space 1|2|3] --model FILE [--baseline NAME]
@@ -99,6 +108,10 @@ Options parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --option");
     const std::string key = argv[i] + 2;
+    if (key == "resume") {  // boolean flag: takes no value
+      options[key] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
     options[key] = argv[++i];
   }
@@ -197,6 +210,15 @@ traces::TraceSet trace_set_for(const std::string& name) {
   usage("unknown trace set (want fcc|norway|cellular|ethernet)");
 }
 
+/// Directory for crash-safe training snapshots: --checkpoint-dir, else the
+/// GENET_CHECKPOINT_DIR env var, else empty (checkpointing disabled).
+std::string checkpoint_dir_of(const Options& options) {
+  const auto it = options.find("checkpoint-dir");
+  if (it != options.end()) return it->second;
+  const char* env = std::getenv("GENET_CHECKPOINT_DIR");
+  return env != nullptr ? env : "";
+}
+
 int cmd_train(const Options& options) {
   auto adapter = adapter_for(options);
   const std::string method = get(options, "method", "genet");
@@ -207,11 +229,52 @@ int cmd_train(const Options& options) {
   const std::string baseline =
       get(options, "baseline", default_baseline(*adapter));
 
+  const std::string ckpt_dir = checkpoint_dir_of(options);
+  const int ckpt_every = get_int(options, "checkpoint-every", 1);
+  const bool resume = options.count("resume") != 0U;
+  if (ckpt_every < 1) {
+    throw std::invalid_argument("--checkpoint-every must be >= 1");
+  }
+  if (resume && ckpt_dir.empty()) {
+    throw std::invalid_argument(
+        "--resume needs --checkpoint-dir (or GENET_CHECKPOINT_DIR)");
+  }
+  std::string ckpt_path;
+  if (!ckpt_dir.empty()) {
+    std::filesystem::create_directories(ckpt_dir);
+    ckpt_path = (std::filesystem::path(ckpt_dir) / "latest.ckpt").string();
+  }
+
   std::vector<double> params;
   if (method == "rl") {
     std::printf("traditional training: %d iterations (seed %llu)\n", iters,
                 static_cast<unsigned long long>(seed));
-    params = genet::train_traditional(*adapter, iters, seed)->snapshot();
+    if (ckpt_path.empty()) {
+      params = genet::train_traditional(*adapter, iters, seed)->snapshot();
+    } else {
+      if (iters < 1) {
+        throw std::invalid_argument("--iters must be >= 1");
+      }
+      std::unique_ptr<rl::ActorCriticBase> trainer =
+          adapter->make_trainer(seed);
+      if (resume && std::filesystem::exists(ckpt_path)) {
+        trainer->load_state(netgym::checkpoint::read_file(ckpt_path),
+                            "trainer/");
+        std::printf("resumed from %s at iteration %ld\n", ckpt_path.c_str(),
+                    trainer->iterations());
+      }
+      netgym::ConfigDistribution dist(adapter->space());
+      const rl::EnvFactory factory = adapter->factory_for(dist);
+      for (long i = trainer->iterations(); i < iters; ++i) {
+        trainer->train_iteration(factory);
+        if ((i + 1) % ckpt_every == 0 || i + 1 == iters) {
+          netgym::checkpoint::Snapshot snap;
+          trainer->save_state(snap, "trainer/");
+          netgym::checkpoint::write_file(snap, ckpt_path);
+        }
+      }
+      params = trainer->snapshot();
+    }
   } else {
     genet::SearchOptions search;
     search.bo_trials = get_int(options, "trials", search.bo_trials);
@@ -244,10 +307,19 @@ int cmd_train(const Options& options) {
                 method.c_str(), copt.rounds, copt.iters_per_round,
                 static_cast<unsigned long long>(seed));
     genet::CurriculumTrainer trainer(*adapter, std::move(scheme), copt);
-    for (int r = 0; r < copt.rounds; ++r) {
+    if (resume && std::filesystem::exists(ckpt_path)) {
+      trainer.load_checkpoint(ckpt_path);
+      std::printf("resumed from %s at round %d\n", ckpt_path.c_str(),
+                  trainer.rounds_completed());
+    }
+    for (int r = trainer.rounds_completed(); r < copt.rounds; ++r) {
       const genet::CurriculumRound round = trainer.run_round();
       std::printf("  round %d: train reward %.3f, selection score %.3f\n",
                   round.round, round.train_reward, round.selection_score);
+      if (!ckpt_path.empty() &&
+          ((r + 1) % ckpt_every == 0 || r + 1 == copt.rounds)) {
+        trainer.save_checkpoint(ckpt_path);
+      }
     }
     params = trainer.trainer().snapshot();
   }

@@ -1,0 +1,105 @@
+// Regenerates the reference checkpoints under tests/data/ that
+// golden_checkpoint_test.cpp loads. The goldens pin backward compatibility:
+// today's files must keep loading in every future build, so ONLY rerun this
+// tool on a deliberate format change (bump
+// netgym::checkpoint::kFormatVersion, keep decode support for version 1,
+// and add new goldens next to the old ones rather than replacing them).
+//
+// Usage: make_golden_checkpoints <output-dir>
+//
+// The constants here (kGoldenMlpParams, seeds, curriculum options) are
+// duplicated in tests/netgym/golden_checkpoint_test.cpp; keep them in sync.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/checkpoint.hpp"
+#include "netgym/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace {
+
+namespace ckpt = netgym::checkpoint;
+
+// 17 parameters of an Mlp{2, 3, 2}: exactly representable values plus the
+// special cases (signed zero, denormal) a lossy text format would destroy.
+const std::vector<double> kGoldenMlpParams = {
+    0.0,  -0.0, 0.125,  -0.5,    1.5, -2.25,
+    3.0,  0.75, -0.75,  std::numeric_limits<double>::denorm_min(),
+    2.0,  -3.5, 4.25,   -5.125,  6.0, 0.0078125,
+    -1.0};
+
+void write_snapshot_golden(const std::string& dir) {
+  ckpt::Snapshot snap;
+  snap.put_i64("counters/i", -7);
+  snap.put_u64("counters/u", 18446744073709551615ull);
+  snap.put_double("values/pi", 3.141592653589793);
+  snap.put_double("values/neg_zero", -0.0);
+  snap.put_double("values/nan", std::numeric_limits<double>::quiet_NaN());
+  snap.put_string("name", std::string("golden\n\x01", 8));
+  snap.put_doubles("weights",
+                   {1.0, -2.5, 0.0,
+                    std::numeric_limits<double>::denorm_min()});
+  snap.put_i64s("steps", {-3, 0, 9});
+  ckpt::write_file(snap, dir + "/golden_snapshot_v1.ckpt");
+}
+
+void write_mlp_golden(const std::string& dir) {
+  netgym::Rng rng(0);
+  nn::Mlp mlp({2, 3, 2}, nn::Activation::kTanh, rng);
+  mlp.set_params(kGoldenMlpParams);
+  ckpt::Snapshot snap;
+  mlp.save_state(snap, "mlp/");
+  ckpt::write_file(snap, dir + "/golden_mlp_v1.ckpt");
+}
+
+void write_rng_golden(const std::string& dir) {
+  // mt19937_64 raw outputs and its textual state representation are both
+  // pinned by the C++ standard, so this golden is portable across standard
+  // libraries: state captured mid-stream plus the next three outputs.
+  netgym::Rng rng(123);
+  for (int i = 0; i < 5; ++i) rng.engine()();
+  ckpt::Snapshot snap;
+  snap.put_string("rng", rng.state());
+  netgym::Rng probe(0);
+  probe.set_state(snap.get_string("rng"));
+  for (int i = 0; i < 3; ++i) {
+    snap.put_u64("next" + std::to_string(i), probe.engine()());
+  }
+  ckpt::write_file(snap, dir + "/golden_rng_v1.ckpt");
+}
+
+void write_curriculum_golden(const std::string& dir) {
+  genet::LbAdapter adapter(1);
+  genet::SearchOptions search;
+  search.bo_trials = 2;
+  search.envs_per_eval = 2;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 1;
+  options.seed = 11;
+  genet::CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  trainer.run_round();
+  trainer.save_checkpoint(dir + "/golden_curriculum_v1.ckpt");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_golden_checkpoints <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  write_snapshot_golden(dir);
+  write_mlp_golden(dir);
+  write_rng_golden(dir);
+  write_curriculum_golden(dir);
+  std::printf("wrote golden checkpoints to %s\n", dir.c_str());
+  return 0;
+}
