@@ -8,6 +8,7 @@
 
 #include "netgym/checkpoint.hpp"
 #include "netgym/flight.hpp"
+#include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
@@ -195,6 +196,7 @@ void print_header(const std::string& experiment, const std::string& claim) {
   netgym::telemetry::open_global_logger_from_env();
   netgym::tracing::install_from_env();
   netgym::flight::install_from_env();
+  netgym::health::install_from_env();  // GENET_HEALTH[_FAIL_FAST]
   if (g_checkpoint_dir.empty()) {
     const char* env = std::getenv("GENET_CHECKPOINT_DIR");
     if (env != nullptr && env[0] != '\0') set_checkpoint_dir(env);

@@ -101,8 +101,10 @@ const std::string& checkpoint_dir();
 /// what the paper's version of the plot shows. `print_header` also installs
 /// a JSONL telemetry sink from the GENET_LOG environment variable (unless a
 /// sink is already installed, e.g. via --log-file), honours GENET_TRACE /
-/// GENET_FLIGHT the same way, and emits a "run_start" event, so *every*
-/// bench can write a machine-readable trajectory.
+/// GENET_FLIGHT / GENET_HEALTH (training-health watchdog + its JSONL sink;
+/// GENET_HEALTH_FAIL_FAST=1 aborts on non-finite values) the same way, and
+/// emits a "run_start" event, so *every* bench can write a machine-readable
+/// trajectory.
 void print_header(const std::string& experiment, const std::string& claim);
 void print_row(const std::string& label, const std::vector<double>& values,
                int width = 10, int precision = 3);

@@ -57,6 +57,40 @@ def table_rows(block):
     return rows
 
 
+ROUND_LINE = re.compile(r"^\s*round (\d+): (.+)$")
+ROUND_TRAIN = re.compile(
+    r"train reward (-?[\d.]+(?:e-?\d+)?), selection score (-?[\d.]+(?:e-?\d+)?)"
+)
+ROUND_GAP = re.compile(r"best gap-to-\S+ found by BO = (-?[\d.]+(?:e-?\d+)?)")
+
+
+def rounds_rows(block):
+    """Extract per-curriculum-round progress lines as CSV rows.
+
+    Two shapes appear in bench/CLI output: the curriculum trainers print
+    "round N: train reward X, selection score Y", and the baseline-choice
+    probe prints "round N: best gap-to-<baseline> found by BO = Z". Both land
+    in one <slug>_rounds.csv with empty cells for the columns a line lacks,
+    so gap/selection-score trajectories can be plotted without re-running.
+    """
+    rows = []
+    for line in block:
+        match = ROUND_LINE.match(line)
+        if not match:
+            continue
+        rnd, rest = match.group(1), match.group(2)
+        train = ROUND_TRAIN.search(rest)
+        if train:
+            rows.append([rnd, train.group(1), train.group(2), ""])
+            continue
+        gap = ROUND_GAP.search(rest)
+        if gap:
+            rows.append([rnd, "", "", gap.group(1)])
+    if rows:
+        rows.insert(0, ["round", "train_reward", "selection_score", "bo_gap"])
+    return rows
+
+
 METRICS_HEADER = re.compile(r"^metric\s+kind\s+count\s+value\s+p50\s+p90\s+p99\s+max$")
 METRICS_COLUMNS = ["metric", "kind", "count", "value", "p50", "p90", "p99", "max"]
 METRIC_KINDS = {"counter", "gauge", "timer", "histogram"}
@@ -108,6 +142,13 @@ def main() -> int:
             path = os.path.join(out_dir, slugify(title) + "_metrics.csv")
             with open(path, "w", encoding="utf-8") as out:
                 for cells in mrows:
+                    out.write(",".join(cells) + "\n")
+            count += 1
+        rrows = rounds_rows(block)
+        if rrows:
+            path = os.path.join(out_dir, slugify(title) + "_rounds.csv")
+            with open(path, "w", encoding="utf-8") as out:
+                for cells in rrows:
                     out.write(",".join(cells) + "\n")
             count += 1
         rows = table_rows(block)

@@ -2,13 +2,23 @@
 """Validate a JSONL file: every line must be a standalone JSON object.
 
 Used by the CI observability smoke job (and the ctest CLI smoke tests) on the
-run-telemetry log (--log-file) and the flight-recorder dump (--flight-out).
-Any extra arguments are key names that every object must contain. The file
-must hold at least one object -- an empty log means the producer silently
-wrote nothing, which is exactly the regression this check exists to catch.
+run-telemetry log (--log-file), the flight-recorder dump (--flight-out), and
+the health watchdog stream (--health-out). Plain extra arguments are key
+names that every object must contain. The file must hold at least one
+object -- an empty log means the producer silently wrote nothing, which is
+exactly the regression this check exists to catch.
+
+Per-type schema checks: each repeatable `--type NAME:KEY1,KEY2,...` argument
+requires that (a) at least one record with "type" == NAME exists, and
+(b) every record of that type carries all the listed keys. E.g. the health
+and provenance streams are validated with:
+
+    python3 scripts/check_jsonl.py run.jsonl seq ts_ms \
+        --type health:step,mean_entropy,actor_grad_norm,approx_kl \
+        --type bo_trial_provenance:round,scheme,unit,config,measured_gap
 
 Usage:
-    python3 scripts/check_jsonl.py FILE [required_key ...]
+    python3 scripts/check_jsonl.py FILE [required_key ...] [--type NAME:KEYS]
 
 Exit status 0 on success; 1 with a diagnostic on the first offending line.
 """
@@ -17,13 +27,46 @@ import json
 import sys
 
 
+def parse_args(argv):
+    path = None
+    required = []
+    type_specs = {}  # type name -> list of required keys
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--type":
+            if i + 1 >= len(argv):
+                print("--type needs a NAME:KEY1,KEY2,... value", file=sys.stderr)
+                return None
+            spec = argv[i + 1]
+            i += 2
+            name, sep, keys = spec.partition(":")
+            if not name or not sep:
+                print(f"bad --type spec '{spec}' (want NAME:KEY1,...)",
+                      file=sys.stderr)
+                return None
+            type_specs.setdefault(name, []).extend(
+                k for k in keys.split(",") if k
+            )
+            continue
+        if path is None:
+            path = arg
+        else:
+            required.append(arg)
+        i += 1
+    if path is None:
+        return None
+    return path, required, type_specs
+
+
 def main() -> int:
-    if len(sys.argv) < 2:
+    parsed = parse_args(sys.argv[1:])
+    if parsed is None:
         print(__doc__, file=sys.stderr)
         return 1
-    path = sys.argv[1]
-    required = sys.argv[2:]
+    path, required, type_specs = parsed
     count = 0
+    type_counts = {name: 0 for name in type_specs}
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -45,11 +88,32 @@ def main() -> int:
                     file=sys.stderr,
                 )
                 return 1
+            rtype = obj.get("type")
+            if rtype in type_specs:
+                type_counts[rtype] += 1
+                missing = [k for k in type_specs[rtype] if k not in obj]
+                if missing:
+                    print(
+                        f"{path}:{lineno}: '{rtype}' record missing key(s): "
+                        f"{', '.join(missing)}",
+                        file=sys.stderr,
+                    )
+                    return 1
             count += 1
     if count == 0:
         print(f"{path}: no objects found", file=sys.stderr)
         return 1
-    print(f"{path}: {count} JSON objects OK")
+    absent = [name for name, n in type_counts.items() if n == 0]
+    if absent:
+        print(
+            f"{path}: no records of required type(s): {', '.join(absent)}",
+            file=sys.stderr,
+        )
+        return 1
+    summary = "".join(
+        f", {n} x {name}" for name, n in sorted(type_counts.items())
+    )
+    print(f"{path}: {count} JSON objects OK{summary}")
     return 0
 
 

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Render a training-health / curriculum-provenance JSONL stream as markdown.
+
+Consumes the log written by `genet train --health-out F` (or any run with
+GENET_HEALTH set and a JSONL sink installed) and produces a human-readable
+report answering two questions the raw stream buries:
+
+  * WHY was each round's environment chosen? The gap trajectory and the
+    per-round candidate tables show every configuration the Bayesian
+    optimizer evaluated (normalized point, denormalized values, the GP
+    surrogate's predicted mean/variance, the measured gap) next to the
+    chosen configuration and its selection score.
+  * WAS training healthy while it happened? Summaries of the per-update
+    health statistics (entropy, gradient norms, approximate update-KL,
+    explained variance) and a timeline of watchdog alerts.
+
+Pure stdlib. Usage:
+
+    python3 scripts/health_report.py run.jsonl [-o report.md]
+
+Writes to stdout without -o. Exit status 1 if the file holds no records.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"{path}:{lineno}: invalid JSON: {err}", file=sys.stderr)
+                sys.exit(1)
+            if isinstance(obj, dict):
+                records.append(obj)
+    return records
+
+
+def fmt(value, digits=4):
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def table(header, rows):
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def summarize(values):
+    """(count, mean, min, max) over the finite entries of `values`."""
+    finite = [v for v in values
+              if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if not finite:
+        return None
+    return (len(finite), sum(finite) / len(finite), min(finite), max(finite))
+
+
+def config_label(vector, names, max_dims=6):
+    """Compact name=value rendering of a config vector."""
+    if not isinstance(vector, list):
+        return "-"
+    parts = []
+    for i, v in enumerate(vector[:max_dims]):
+        name = names[i] if i < len(names) else f"x{i}"
+        parts.append(f"{name}={fmt(v, 3)}")
+    if len(vector) > max_dims:
+        parts.append("...")
+    return ", ".join(parts)
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    out_path = None
+    if "-o" in args:
+        i = args.index("-o")
+        if i + 1 >= len(args):
+            print(__doc__, file=sys.stderr)
+            return 1
+        out_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = args[0]
+    records = load(path)
+    if not records:
+        print(f"{path}: no records", file=sys.stderr)
+        return 1
+
+    rounds = [r for r in records if r.get("type") == "round"]
+    trials = [r for r in records if r.get("type") == "bo_trial_provenance"]
+    health = [r for r in records if r.get("type") == "health"]
+    alerts = [r for r in records if r.get("type") == "alert"]
+
+    param_names = []
+    for r in rounds:
+        names = r.get("param_names")
+        if isinstance(names, str) and names:
+            param_names = names.split(",")
+            break
+
+    lines = [f"# Training health report", "",
+             f"Source: `{path}` ({len(records)} records: {len(rounds)} "
+             f"rounds, {len(trials)} BO trials, {len(health)} health checks, "
+             f"{len(alerts)} alerts)", ""]
+
+    # --- Gap trajectory -----------------------------------------------------
+    lines.append("## Gap trajectory")
+    lines.append("")
+    if rounds:
+        rows = []
+        for r in rounds:
+            rid = r.get("step")
+            mine = [t for t in trials if t.get("round") == rid]
+            gaps = [t.get("measured_gap") for t in mine
+                    if isinstance(t.get("measured_gap"), (int, float))]
+            rows.append([
+                fmt(rid),
+                str(r.get("scheme", "-")),
+                fmt(len(mine)),
+                fmt(max(gaps) if gaps else None),
+                fmt(r.get("selection_score")),
+                fmt(r.get("train_reward")),
+            ])
+        lines += table(["round", "scheme", "bo trials", "best measured gap",
+                        "selection score", "train reward"], rows)
+    else:
+        lines.append("No `round` records (not a curriculum run).")
+    lines.append("")
+
+    # --- Per-round candidate sets ------------------------------------------
+    if trials:
+        lines.append("## Candidate configurations per round")
+        lines.append("")
+        lines.append("Every configuration the sequencing search evaluated. "
+                     "`gp mean +- sd` is the surrogate's prediction at the "
+                     "proposal (blank during the initial random phase); "
+                     "`measured gap` is the criterion value the evaluation "
+                     "actually returned; **bold** marks each round's best.")
+        lines.append("")
+        by_round = {}
+        for t in trials:
+            by_round.setdefault(t.get("round"), []).append(t)
+        for rid in sorted(by_round, key=lambda x: (x is None, x)):
+            mine = by_round[rid]
+            chosen = next((r for r in rounds if r.get("step") == rid), None)
+            head = f"### Round {fmt(rid)}"
+            if chosen is not None:
+                head += (f" -- chose {config_label(chosen.get('promoted'), param_names)}"
+                         f" (selection score {fmt(chosen.get('selection_score'))})")
+            lines.append(head)
+            lines.append("")
+            gaps = [t.get("measured_gap") for t in mine
+                    if isinstance(t.get("measured_gap"), (int, float))]
+            best_gap = max(gaps) if gaps else None
+            rows = []
+            for t in mine:
+                gap = t.get("measured_gap")
+                gap_s = fmt(gap)
+                if best_gap is not None and gap == best_gap:
+                    gap_s = f"**{gap_s}**"
+                if t.get("gp_valid"):
+                    sd = t.get("gp_variance", 0.0) or 0.0
+                    gp = f"{fmt(t.get('gp_mean'))} +- {fmt(max(sd, 0.0) ** 0.5, 3)}"
+                else:
+                    gp = "(random phase)"
+                rows.append([
+                    fmt(t.get("step")),
+                    config_label(t.get("config"), param_names),
+                    gp,
+                    gap_s,
+                    fmt(t.get("envs_per_eval")),
+                    fmt(t.get("best_value")),
+                ])
+            lines += table(["trial", "config", "gp mean +- sd",
+                            "measured gap", "envs/eval", "running best"], rows)
+            lines.append("")
+
+    # --- Health summary -----------------------------------------------------
+    lines.append("## Health summary")
+    lines.append("")
+    if health:
+        metrics = [
+            ("mean_entropy", "policy entropy"),
+            ("mean_episode_reward", "episode reward"),
+            ("actor_grad_norm", "actor grad norm (pre-clip)"),
+            ("actor_grad_norm_clipped", "actor grad norm (clipped)"),
+            ("critic_grad_norm", "critic grad norm (pre-clip)"),
+            ("approx_kl", "approximate update-KL"),
+            ("explained_variance", "explained variance"),
+        ]
+        rows = []
+        for key, label in metrics:
+            s = summarize([h.get(key) for h in health])
+            if s is None:
+                continue
+            n, mean, lo, hi = s
+            rows.append([label, fmt(n), fmt(mean), fmt(lo), fmt(hi)])
+        lines += table(["metric", "updates", "mean", "min", "max"], rows)
+        non_finite = sum(1 for h in health if h.get("non_finite"))
+        lines.append("")
+        lines.append(f"Non-finite sentinels fired on {non_finite} of "
+                     f"{len(health)} observed updates.")
+    else:
+        lines.append("No `health` records (watchdog was not enabled).")
+    lines.append("")
+
+    # --- Alert timeline -----------------------------------------------------
+    lines.append("## Alert timeline")
+    lines.append("")
+    if alerts:
+        rows = [[fmt(a.get("step")), str(a.get("kind", "-")),
+                 str(a.get("message", "-")), fmt(a.get("value")),
+                 fmt(a.get("threshold"))] for a in alerts]
+        lines += table(["step", "kind", "message", "value", "threshold"], rows)
+    else:
+        lines.append("No alerts.")
+    lines.append("")
+
+    text = "\n".join(lines)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as out:
+            out.write(text)
+        print(f"wrote {out_path} ({len(lines)} lines)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

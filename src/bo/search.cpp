@@ -49,6 +49,7 @@ double BayesianOptimizer::acquisition_value(
 
 std::vector<double> BayesianOptimizer::propose() {
   if (num_evaluations() < options_.initial_random) {
+    last_prediction_ = ProposalPrediction{};  // random phase: no surrogate
     std::vector<double> x(static_cast<std::size_t>(dims_));
     for (double& v : x) v = rng_.uniform(0.0, 1.0);
     return x;
@@ -58,6 +59,7 @@ std::vector<double> BayesianOptimizer::propose() {
     gp_dirty_ = false;
   }
   std::vector<double> best_candidate;
+  GaussianProcess::Prediction best_pred{};
   double best_ei = -1e300;
   for (int c = 0; c < options_.candidates; ++c) {
     std::vector<double> x(static_cast<std::size_t>(dims_));
@@ -69,12 +71,16 @@ std::vector<double> BayesianOptimizer::propose() {
     } else {
       for (double& v : x) v = rng_.uniform(0.0, 1.0);
     }
-    const double score = acquisition_value(gp_.predict(x));
+    const GaussianProcess::Prediction pred = gp_.predict(x);
+    const double score = acquisition_value(pred);
     if (score > best_ei) {
       best_ei = score;
       best_candidate = std::move(x);
+      best_pred = pred;
     }
   }
+  last_prediction_ =
+      ProposalPrediction{true, best_pred.mean, best_pred.variance, best_ei};
   return best_candidate;
 }
 

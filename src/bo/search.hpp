@@ -60,6 +60,22 @@ class BayesianOptimizer : public Maximizer,
   std::vector<double> propose() override;
   void update(const std::vector<double>& x, double value) override;
 
+  /// GP surrogate view of the point the most recent `propose()` returned:
+  /// predicted mean/variance plus the acquisition score that won the
+  /// candidate sweep. `valid` is false while the search is still in its
+  /// initial random phase (no surrogate was consulted) or before the first
+  /// proposal. Provenance only -- never feeds back into the search. Not
+  /// checkpointed (a resumed search reports invalid until its next propose).
+  struct ProposalPrediction {
+    bool valid = false;
+    double mean = 0.0;
+    double variance = 0.0;
+    double acquisition = 0.0;
+  };
+  const ProposalPrediction& last_proposal_prediction() const {
+    return last_prediction_;
+  }
+
   /// Checkpoint hooks: persist the evaluation history, incumbent, RNG stream,
   /// and the GP surrogate, so a resumed search proposes the exact points an
   /// uninterrupted one would. load_state validates dimensionality and shape
@@ -77,6 +93,7 @@ class BayesianOptimizer : public Maximizer,
   netgym::Rng rng_;
   GaussianProcess gp_;
   bool gp_dirty_ = true;
+  ProposalPrediction last_prediction_;
 };
 
 /// Uniform random search (Fig. 20's "Random" comparator).

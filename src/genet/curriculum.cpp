@@ -10,23 +10,65 @@ namespace genet {
 
 namespace {
 
+/// FNV-1a hash of the (textual) RNG state: a compact fingerprint recording
+/// which point of the random stream a BO trial's evaluations drew from,
+/// without dumping the full mt19937_64 state into every provenance record.
+std::int64_t rng_fingerprint(const netgym::Rng& rng) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : rng.state()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::int64_t>(h);
+}
+
 /// Run a BO search over the task's configuration space maximizing
 /// `criterion`; returns the best configuration found and its criterion
 /// value. This is the shared engine of every BO-driven scheme; Genet
 /// restarts it per round (S4.2).
+///
+/// Provenance: with a RunLogger installed, every trial emits a
+/// "bo_trial_provenance" record -- normalized and denormalized candidate,
+/// the GP surrogate's predicted mean/variance and winning acquisition score
+/// (gp_valid=0 during the initial random phase), the measured criterion
+/// value, envs_per_eval, the running best, and an RNG-state fingerprint
+/// identifying the evaluation's random stream. Emitted after each trial's
+/// RNG use, so logging cannot change what the search explores.
 template <typename Criterion>
 CurriculumScheme::Selection bo_search(const TaskAdapter& task,
                                       const SearchOptions& options,
-                                      netgym::Rng& rng,
+                                      netgym::Rng& rng, int round,
+                                      const std::string& scheme,
                                       Criterion&& criterion) {
+  namespace tel = netgym::telemetry;
   const netgym::ConfigSpace& space = task.space();
   bo::BayesianOptimizer optimizer(static_cast<int>(space.dims()),
                                   rng.engine()());
   for (int trial = 0; trial < options.bo_trials; ++trial) {
     netgym::tracing::TraceSpan span("bo_trial", "genet", trial);
+    const std::int64_t fingerprint = rng_fingerprint(rng);
     const std::vector<double> unit = optimizer.propose();
+    const bo::BayesianOptimizer::ProposalPrediction pred =
+        optimizer.last_proposal_prediction();
     const netgym::Config config = space.denormalize(unit);
-    optimizer.update(unit, criterion(config));
+    const double measured = criterion(config);
+    optimizer.update(unit, measured);
+    if (tel::logging_enabled()) {
+      tel::log_event(
+          "bo_trial_provenance", trial,
+          {{"round", static_cast<std::int64_t>(round)},
+           {"scheme", scheme},
+           {"unit", unit},
+           {"config", config.values},
+           {"measured_gap", measured},
+           {"envs_per_eval", static_cast<std::int64_t>(options.envs_per_eval)},
+           {"gp_valid", static_cast<std::int64_t>(pred.valid ? 1 : 0)},
+           {"gp_mean", pred.mean},
+           {"gp_variance", pred.variance},
+           {"acquisition", pred.acquisition},
+           {"best_value", optimizer.best_value()},
+           {"rng_fingerprint", fingerprint}});
+    }
   }
   return {space.denormalize(optimizer.best_point()), optimizer.best_value()};
 }
@@ -43,18 +85,20 @@ GenetScheme::GenetScheme(std::string baseline_name, SearchOptions options)
     : baseline_name_(std::move(baseline_name)), options_(options) {}
 
 CurriculumScheme::Selection GenetScheme::select(
-    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    const TaskAdapter& task, netgym::Policy& current_policy, int round,
     netgym::Rng& rng) {
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    return gap_to_baseline(task, current_policy, baseline_name_, config,
-                           options_.envs_per_eval, rng);
-  });
+  return bo_search(task, options_, rng, round, name(),
+                   [&](const netgym::Config& config) {
+                     return gap_to_baseline(task, current_policy,
+                                            baseline_name_, config,
+                                            options_.envs_per_eval, rng);
+                   });
 }
 
 SelfPlayScheme::SelfPlayScheme(SearchOptions options) : options_(options) {}
 
 CurriculumScheme::Selection SelfPlayScheme::select(
-    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    const TaskAdapter& task, netgym::Policy& current_policy, int round,
     netgym::Rng& rng) {
   auto* mlp = dynamic_cast<rl::MlpPolicy*>(&current_policy);
   if (mlp == nullptr) {
@@ -77,10 +121,11 @@ CurriculumScheme::Selection SelfPlayScheme::select(
   reference.restore(reference_params_);
   reference.set_greedy(true);
 
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    return gap_between(task, current_policy, reference, config,
-                       options_.envs_per_eval, rng);
-  });
+  return bo_search(task, options_, rng, round, name(),
+                   [&](const netgym::Config& config) {
+                     return gap_between(task, current_policy, reference,
+                                        config, options_.envs_per_eval, rng);
+                   });
 }
 
 void SelfPlayScheme::save_state(netgym::checkpoint::Snapshot& snap,
@@ -116,17 +161,18 @@ EnsembleGenetScheme::EnsembleGenetScheme(
 }
 
 CurriculumScheme::Selection EnsembleGenetScheme::select(
-    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    const TaskAdapter& task, netgym::Policy& current_policy, int round,
     netgym::Rng& rng) {
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    double max_gap = -1e300;
-    for (const std::string& baseline : baseline_names_) {
-      max_gap = std::max(
-          max_gap, gap_to_baseline(task, current_policy, baseline, config,
-                                   options_.envs_per_eval, rng));
-    }
-    return max_gap;
-  });
+  return bo_search(
+      task, options_, rng, round, name(), [&](const netgym::Config& config) {
+        double max_gap = -1e300;
+        for (const std::string& baseline : baseline_names_) {
+          max_gap = std::max(
+              max_gap, gap_to_baseline(task, current_policy, baseline, config,
+                                       options_.envs_per_eval, rng));
+        }
+        return max_gap;
+      });
 }
 
 HandcraftedScheme::HandcraftedScheme(std::string dimension, bool hard_is_low,
@@ -165,43 +211,46 @@ BaselinePerformanceScheme::BaselinePerformanceScheme(std::string baseline_name,
     : baseline_name_(std::move(baseline_name)), options_(options) {}
 
 CurriculumScheme::Selection BaselinePerformanceScheme::select(
-    const TaskAdapter& task, netgym::Policy&, int, netgym::Rng& rng) {
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    // Maximize the *negated* baseline reward: environments where the rule
-    // fares worst are considered hardest.
-    double total = 0.0;
-    for (int i = 0; i < options_.envs_per_eval; ++i) {
-      auto env = task.make_env(config, rng);
-      auto baseline = task.make_baseline(baseline_name_, *env);
-      total += netgym::run_episode(*env, *baseline, rng).mean_reward;
-    }
-    return -total / options_.envs_per_eval;
-  });
+    const TaskAdapter& task, netgym::Policy&, int round, netgym::Rng& rng) {
+  return bo_search(
+      task, options_, rng, round, name(), [&](const netgym::Config& config) {
+        // Maximize the *negated* baseline reward: environments where the rule
+        // fares worst are considered hardest.
+        double total = 0.0;
+        for (int i = 0; i < options_.envs_per_eval; ++i) {
+          auto env = task.make_env(config, rng);
+          auto baseline = task.make_baseline(baseline_name_, *env);
+          total += netgym::run_episode(*env, *baseline, rng).mean_reward;
+        }
+        return -total / options_.envs_per_eval;
+      });
 }
 
 GapToOptimumScheme::GapToOptimumScheme(SearchOptions options)
     : options_(options) {}
 
 CurriculumScheme::Selection GapToOptimumScheme::select(
-    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    const TaskAdapter& task, netgym::Policy& current_policy, int round,
     netgym::Rng& rng) {
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    return gap_to_optimum(task, current_policy, config,
-                          options_.envs_per_eval, rng);
-  });
+  return bo_search(task, options_, rng, round, name(),
+                   [&](const netgym::Config& config) {
+                     return gap_to_optimum(task, current_policy, config,
+                                           options_.envs_per_eval, rng);
+                   });
 }
 
 RobustifyScheme::RobustifyScheme(double rho, SearchOptions options)
     : rho_(rho), options_(options) {}
 
 CurriculumScheme::Selection RobustifyScheme::select(
-    const TaskAdapter& task, netgym::Policy& current_policy, int,
+    const TaskAdapter& task, netgym::Policy& current_policy, int round,
     netgym::Rng& rng) {
-  return bo_search(task, options_, rng, [&](const netgym::Config& config) {
-    const double regret = gap_to_optimum(task, current_policy, config,
-                                         options_.envs_per_eval, rng);
-    return regret - rho_ * task.config_non_smoothness(config, rng);
-  });
+  return bo_search(
+      task, options_, rng, round, name(), [&](const netgym::Config& config) {
+        const double regret = gap_to_optimum(task, current_policy, config,
+                                             options_.envs_per_eval, rng);
+        return regret - rho_ * task.config_non_smoothness(config, rng);
+      });
 }
 
 CurriculumTrainer::CurriculumTrainer(const TaskAdapter& task,
@@ -261,11 +310,20 @@ CurriculumRound CurriculumTrainer::run_round() {
   tel::Registry::instance().gauge("genet.train_reward")
       .set(record.train_reward);
   if (tel::logging_enabled()) {
+    // param_names gives readers of the JSONL stream the column labels for
+    // the promoted/unit/config vectors, comma-joined (one per space dim).
+    const netgym::ConfigSpace& space = task_.space();
+    std::string param_names;
+    for (std::size_t i = 0; i < space.dims(); ++i) {
+      if (i > 0) param_names += ",";
+      param_names += space.param(i).name;
+    }
     tel::log_event("round", record.round,
                    {{"scheme", scheme_->name()},
                     {"train_reward", record.train_reward},
                     {"selection_score", record.selection_score},
                     {"promoted", record.promoted.values},
+                    {"param_names", param_names},
                     {"uniform_weight", dist_.uniform_weight()}});
   }
   return record;

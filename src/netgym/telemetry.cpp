@@ -34,6 +34,12 @@ void append_string(std::string& out, std::string_view s) {
       case '\t':
         out += "\\t";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];

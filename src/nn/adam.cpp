@@ -20,13 +20,17 @@ void Adam::step(std::vector<double>& params,
   if (params.size() != m_.size() || grads.size() != m_.size()) {
     throw std::invalid_argument("Adam::step: size mismatch");
   }
+  // The norm is always computed (not only when clipping is on): it feeds the
+  // last_grad_norm diagnostics and costs one pass either way.
+  double norm_sq = 0.0;
+  for (double g : grads) norm_sq += g * g;
+  const double norm = std::sqrt(norm_sq);
   double scale = 1.0;
-  if (options_.max_grad_norm > 0) {
-    double norm_sq = 0.0;
-    for (double g : grads) norm_sq += g * g;
-    const double norm = std::sqrt(norm_sq);
-    if (norm > options_.max_grad_norm) scale = options_.max_grad_norm / norm;
+  if (options_.max_grad_norm > 0 && norm > options_.max_grad_norm) {
+    scale = options_.max_grad_norm / norm;
   }
+  last_grad_norm_ = norm;
+  last_clip_scale_ = scale;
   ++t_;
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));

@@ -36,6 +36,16 @@ class Adam : public netgym::checkpoint::Serializable {
   const Options& options() const { return options_; }
   void set_learning_rate(double lr) { options_.lr = lr; }
 
+  /// L2 norm of the gradient vector passed to the most recent `step` call,
+  /// before and after the max-norm rescale. Observational diagnostics for
+  /// the health watchdog: they never influence the update and are not part
+  /// of checkpoint state (a resumed optimizer reports 0 until its next
+  /// step). 0 before the first step.
+  double last_grad_norm() const { return last_grad_norm_; }
+  double last_clipped_grad_norm() const {
+    return last_grad_norm_ * last_clip_scale_;
+  }
+
   /// Checkpoint hooks: persist the moment estimates, step counter, and the
   /// (mutable) learning rate; load validates moment-vector sizes first so a
   /// mismatched snapshot leaves the optimizer untouched.
@@ -49,6 +59,8 @@ class Adam : public netgym::checkpoint::Serializable {
   std::vector<double> m_;
   std::vector<double> v_;
   long t_ = 0;
+  double last_grad_norm_ = 0.0;
+  double last_clip_scale_ = 1.0;
 };
 
 }  // namespace nn

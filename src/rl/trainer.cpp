@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
@@ -22,6 +23,37 @@ std::vector<int> critic_sizes(int obs_size, const std::vector<int>& hidden) {
   return sizes;
 }
 
+bool all_finite(const std::vector<double>& xs) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// 1 - Var(targets - values) / Var(targets); 0 when the target variance is
+/// (numerically) zero, so a degenerate constant-return batch reads as "the
+/// critic explains nothing" instead of dividing by zero.
+double explained_variance_of(const std::vector<double>& targets,
+                             const std::vector<double>& values) {
+  if (targets.empty() || targets.size() != values.size()) return 0.0;
+  const double n = static_cast<double>(targets.size());
+  double mean = 0.0;
+  for (double t : targets) mean += t;
+  mean /= n;
+  double var = 0.0, residual_var = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    var += (targets[i] - mean) * (targets[i] - mean);
+    const double r = targets[i] - values[i];
+    residual_var += r * r;
+  }
+  // Residual variance around zero (not its own mean): a critic with a
+  // constant bias should not score as fully explanatory.
+  if (var < 1e-12) return 0.0;
+  return 1.0 - residual_var / var;
+}
+
+}  // namespace
+
 double entropy_of(const std::vector<double>& probs) {
   double h = 0.0;
   for (double p : probs) {
@@ -29,8 +61,6 @@ double entropy_of(const std::vector<double>& probs) {
   }
   return h;
 }
-
-}  // namespace
 
 RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
                            netgym::Rng& rng, int episodes,
@@ -183,6 +213,59 @@ void ActorCriticBase::record_episode_rewards(const RolloutBatch& batch) {
   }
 }
 
+void ActorCriticBase::finish_health_stats(const RolloutBatch& batch,
+                                          const std::vector<double>& old_logp,
+                                          const std::vector<double>& targets,
+                                          const std::vector<double>& values,
+                                          IterationStats& stats) {
+  if (!netgym::health::enabled() || old_logp.size() != batch.size() ||
+      batch.empty()) {
+    return;
+  }
+  UpdateHealth& h = stats.health;
+  h.computed = true;
+  h.actor_grad_norm = actor_opt_.last_grad_norm();
+  h.actor_grad_norm_clipped = actor_opt_.last_clipped_grad_norm();
+  h.critic_grad_norm = critic_opt_.last_grad_norm();
+  h.critic_grad_norm_clipped = critic_opt_.last_clipped_grad_norm();
+  h.explained_variance = explained_variance_of(targets, values);
+
+  // Approximate update-KL: one post-update forward pass per sample (reads
+  // parameters, consumes no RNG; the forward cache it clobbers is rebuilt by
+  // the next forward->backward pair anyway).
+  double kl_sum = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = batch.transitions[i];
+    const double new_logp =
+        nn::log_softmax_at(policy_.net().forward(t.obs), t.action);
+    kl_sum += old_logp[i] - new_logp;
+  }
+  h.approx_kl = kl_sum / static_cast<double>(batch.size());
+
+  // Non-finite sentinels: scalar loss ingredients first (cheap, most
+  // diagnostic), then full parameter scans.
+  if (!std::isfinite(stats.mean_entropy)) {
+    h.non_finite = true;
+    h.non_finite_what = "mean policy entropy";
+  } else if (!std::isfinite(h.actor_grad_norm) ||
+             !std::isfinite(h.critic_grad_norm)) {
+    h.non_finite = true;
+    h.non_finite_what = "gradient norm";
+  } else if (!std::isfinite(h.approx_kl)) {
+    h.non_finite = true;
+    h.non_finite_what = "approximate update-KL";
+  } else if (!std::isfinite(stats.mean_episode_reward)) {
+    h.non_finite = true;
+    h.non_finite_what = "mean episode reward";
+  } else if (!all_finite(policy_.net().params())) {
+    h.non_finite = true;
+    h.non_finite_what = "actor parameters";
+  } else if (!all_finite(critic_.params())) {
+    h.non_finite = true;
+    h.non_finite_what = "critic parameters";
+  }
+}
+
 IterationStats ActorCriticBase::train_iteration(const EnvFactory& factory) {
   namespace tel = netgym::telemetry;
   IterationStats stats;
@@ -229,6 +312,26 @@ IterationStats ActorCriticBase::train_iteration(const EnvFactory& factory) {
          {"steps", static_cast<std::int64_t>(stats.steps)},
          {"rollout_seconds", stats.rollout_seconds},
          {"update_seconds", stats.update_seconds}});
+  }
+  // Health watchdog: strictly observational rule evaluation on the stats the
+  // update just produced. Runs after all stochastic work; under fail-fast a
+  // non-finite sentinel throws HealthError out of this call.
+  if (stats.health.computed) {
+    netgym::health::IterationHealth h;
+    h.step = iteration_count_;
+    h.mean_entropy = stats.mean_entropy;
+    h.mean_episode_reward = stats.mean_episode_reward;
+    h.actor_grad_norm = stats.health.actor_grad_norm;
+    h.actor_grad_norm_clipped = stats.health.actor_grad_norm_clipped;
+    h.critic_grad_norm = stats.health.critic_grad_norm;
+    h.critic_grad_norm_clipped = stats.health.critic_grad_norm_clipped;
+    h.approx_kl = stats.health.approx_kl;
+    h.explained_variance = stats.health.explained_variance;
+    h.non_finite = stats.health.non_finite;
+    h.non_finite_what = stats.health.non_finite_what;
+    ++iteration_count_;
+    netgym::health::Watchdog::instance().observe(h);
+    return stats;
   }
   ++iteration_count_;
   return stats;
@@ -281,12 +384,22 @@ IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
   const double ent_coef = next_entropy_coef();
   double entropy_sum = 0.0;
 
+  // Pre-update log-probs for the update-KL health stat. The actor loop's
+  // forwards all run before the single optimizer step, so capturing them
+  // there is free; only allocated when the watchdog wants them.
+  std::vector<double> old_logp;
+  const bool capture_health = netgym::health::enabled();
+  if (capture_health) old_logp.resize(batch.size());
+
   // Actor: dL/dz_j = [-A * (1[a=j] - p_j) + c * p_j (log p_j + H)] / N.
   policy_.net().zero_grad();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Transition& t = batch.transitions[i];
     const std::vector<double> logits = policy_.net().forward(t.obs);
     const std::vector<double> p = nn::softmax(logits);
+    if (capture_health) {
+      old_logp[i] = nn::log_softmax_at(logits, t.action);
+    }
     const double h = entropy_of(p);
     entropy_sum += h;
     std::vector<double> grad(p.size());
@@ -310,6 +423,7 @@ IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
   critic_opt_.step(critic_.params(), critic_.grads());
 
   stats.mean_entropy = entropy_sum * inv_n;
+  finish_health_stats(batch, old_logp, returns, values, stats);
   return stats;
 }
 
@@ -398,6 +512,9 @@ IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
   stats.mean_entropy =
       entropy_count > 0 ? entropy_sum / static_cast<double>(entropy_count)
                         : 0.0;
+  if (netgym::health::enabled()) {
+    finish_health_stats(batch, old_logp, targets, values, stats);
+  }
   return stats;
 }
 

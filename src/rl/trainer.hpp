@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "netgym/env.hpp"
@@ -40,6 +41,22 @@ struct TrainerOptions {
   double gae_lambda = 0.95;
 };
 
+/// Per-update training-health statistics, filled by the trainers only while
+/// the netgym::health watchdog is enabled (they cost extra forward passes
+/// and parameter scans; none of it consumes RNG or mutates training state,
+/// so enabling them leaves the trained parameters bit-identical).
+struct UpdateHealth {
+  bool computed = false;
+  double actor_grad_norm = 0.0;          ///< pre-clip L2 norm
+  double actor_grad_norm_clipped = 0.0;  ///< after Adam's max-norm rescale
+  double critic_grad_norm = 0.0;
+  double critic_grad_norm_clipped = 0.0;
+  double approx_kl = 0.0;           ///< mean(logp_old - logp_new), taken actions
+  double explained_variance = 0.0;  ///< 1 - Var(ret - v) / Var(ret)
+  bool non_finite = false;          ///< NaN/Inf in losses or parameters
+  std::string non_finite_what;
+};
+
 /// Summary of one training iteration.
 struct IterationStats {
   double mean_episode_reward = 0.0;
@@ -49,7 +66,13 @@ struct IterationStats {
   int steps = 0;
   double rollout_seconds = 0.0;  ///< wall clock spent collecting the batch
   double update_seconds = 0.0;   ///< wall clock spent in gradient updates
+  UpdateHealth health;           ///< filled only when health::enabled()
 };
+
+/// Shannon entropy of a probability vector in nats. Entries at (numerically)
+/// zero probability contribute exactly 0, never NaN: lim p->0 of -p log p
+/// is 0, and the 1e-12 guard keeps the log call off p = 0.
+double entropy_of(const std::vector<double>& probs);
 
 /// Roll the (stochastic) policy through `episodes` fresh environments drawn
 /// from `factory`, returning all transitions in time order.
@@ -108,6 +131,20 @@ class ActorCriticBase : public netgym::checkpoint::Serializable {
   /// Feed each episode's total reward into the `rl.episode_reward` histogram
   /// (implementations call this right after collecting a batch).
   void record_episode_rewards(const RolloutBatch& batch);
+
+  /// Fill `stats.health` from the just-finished update: gradient norms read
+  /// off both optimizers, approximate update-KL of the post-update policy
+  /// against the pre-update log-probs in `old_logp`, explained variance of
+  /// `values` against the regression `targets`, and non-finite sentinels
+  /// over the losses and all parameters. No-op unless the health watchdog is
+  /// enabled and `old_logp` was captured (implementations gate that capture
+  /// on netgym::health::enabled()). Consumes no RNG and mutates nothing but
+  /// `stats` and the policy net's transient forward cache.
+  void finish_health_stats(const RolloutBatch& batch,
+                           const std::vector<double>& old_logp,
+                           const std::vector<double>& targets,
+                           const std::vector<double>& values,
+                           IterationStats& stats);
 
   /// Scale factor applied to rewards before returns/advantages: the running
   /// standard deviation of observed episode-discounted returns.

@@ -14,6 +14,7 @@
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "netgym/flight.hpp"
+#include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
@@ -206,6 +207,62 @@ TEST(ParallelDeterminism, TracingAndFlightAreBitIdenticalAcrossThreads) {
         << threads << " threads";
   }
   netgym::flight::Recorder::instance().reset();
+}
+
+TEST(ParallelDeterminism, HealthMonitoringIsBitIdenticalAcrossThreads) {
+  // The health watchdog and its extra trainer statistics (gradient norms,
+  // update-KL forward passes, parameter scans) plus the BO provenance
+  // records are strictly observational: a 2-round curriculum run with the
+  // watchdog and a JSONL sink enabled yields bit-identical parameters to the
+  // unmonitored baseline at 1 and 4 threads -- and the stream carries one
+  // `health` record per training iteration and one `bo_trial_provenance`
+  // record per BO trial.
+  PoolGuard guard;
+  const std::string path = ::testing::TempDir() + "determinism_health.jsonl";
+
+  netgym::set_num_threads(1);
+  const std::vector<double> baseline = run_two_round_curriculum();
+
+  std::vector<std::string> log_lines;
+  for (int threads : {1, 4}) {
+    netgym::set_num_threads(threads);
+    netgym::health::Watchdog::instance().reset();
+    netgym::health::Watchdog::instance().enable({});
+    netgym::telemetry::open_global_logger(path);
+    const std::vector<double> monitored = run_two_round_curriculum();
+    netgym::telemetry::set_global_logger(nullptr);
+    netgym::health::Watchdog::instance().disable();
+    EXPECT_EQ(monitored, baseline) << threads << " threads";
+    EXPECT_EQ(netgym::health::Watchdog::instance().checks(), 4u)
+        << threads << " threads";
+
+    log_lines.clear();
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) log_lines.push_back(line);
+  }
+  std::remove(path.c_str());
+  netgym::health::Watchdog::instance().reset();
+
+  // Last (4-thread) run's stream: 2 rounds x 2 iterations -> 4 health
+  // records; 2 rounds x 4 BO trials -> 8 provenance records, each naming its
+  // round, scheme, and measured gap.
+  int health_records = 0, provenance_records = 0;
+  for (const std::string& line : log_lines) {
+    if (line.find("\"type\":\"health\"") != std::string::npos) {
+      ++health_records;
+      EXPECT_NE(line.find("\"actor_grad_norm\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"approx_kl\":"), std::string::npos) << line;
+    }
+    if (line.find("\"type\":\"bo_trial_provenance\"") != std::string::npos) {
+      ++provenance_records;
+      EXPECT_NE(line.find("\"round\":"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"scheme\":\"genet\""), std::string::npos) << line;
+      EXPECT_NE(line.find("\"measured_gap\":"), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(health_records, 4);
+  EXPECT_EQ(provenance_records, 8);
 }
 
 TEST(ParallelDeterminism, CheckpointingIsObservationalAndThreadInvariant) {

@@ -290,6 +290,49 @@ TEST(RunLogger, EscapesStringsAndMapsNonFiniteToNull) {
   EXPECT_NE(lines[0].find("\"inf\":null"), std::string::npos);
 }
 
+TEST(RunLogger, EscapesControlCharactersWithShorthandsAndUnicode) {
+  // Backspace/form-feed get the two-character JSON shorthands; the remaining
+  // control characters (here 0x01 and 0x1f) fall back to \u00xx. Nothing
+  // below 0x20 may ever reach the output raw -- one raw control byte makes
+  // the whole line unparseable to strict JSON readers.
+  const std::string path =
+      ::testing::TempDir() + "telemetry_ctrl_escape_test.jsonl";
+  LogFileGuard guard(path);
+  {
+    tel::RunLogger logger(path);
+    logger.event("ctrl", 0,
+                 {{"text", std::string("a\bb\fc\x01"
+                                       "d\x1f"
+                                       "e")}});
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(looks_like_json_object(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("a\\bb\\fc\\u0001d\\u001fe"), std::string::npos)
+      << lines[0];
+  for (char c : lines[0]) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonAppendString, EscapesEveryControlCharacterAndDelimiters) {
+  // Exhaustive sweep over the bytes append_string must never emit raw.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string out;
+    tel::json::append_string(out, std::string(1, static_cast<char>(c)));
+    ASSERT_GE(out.size(), 4u) << "byte " << c;
+    EXPECT_EQ(out.front(), '"');
+    EXPECT_EQ(out.back(), '"');
+    EXPECT_EQ(out[1], '\\') << "byte " << c << " escaped as " << out;
+  }
+  std::string quote;
+  tel::json::append_string(quote, "\"");
+  EXPECT_EQ(quote, "\"\\\"\"");
+  std::string backslash;
+  tel::json::append_string(backslash, "\\");
+  EXPECT_EQ(backslash, "\"\\\\\"");
+}
+
 TEST(RunLogger, ThrowsOnUnwritablePath) {
   EXPECT_THROW(tel::RunLogger("/nonexistent-dir/telemetry.jsonl"),
                std::runtime_error);

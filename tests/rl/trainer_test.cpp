@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+
+#include "netgym/health.hpp"
 
 namespace {
 
@@ -142,4 +145,112 @@ TEST(CollectBatch, RespectsEpisodeAndStepLimits) {
       std::invalid_argument);
 }
 
+/// Exposes the protected entropy-coefficient schedule for direct testing.
+class ScheduleProbe : public rl::ActorCriticBase {
+ public:
+  using rl::ActorCriticBase::ActorCriticBase;
+  using rl::ActorCriticBase::next_entropy_coef;
+
+ protected:
+  rl::IterationStats run_iteration(const rl::EnvFactory&) override {
+    return {};
+  }
+};
+
+TEST(EntropyOf, ZeroProbabilityEntriesContributeZeroNotNaN) {
+  // lim p->0 of -p log p is 0; a degenerate one-hot distribution must read
+  // as zero entropy, never NaN (log(0) would poison every later mean).
+  EXPECT_DOUBLE_EQ(rl::entropy_of({1.0, 0.0, 0.0}), 0.0);
+  const double h = rl::entropy_of({0.5, 0.5, 0.0});
+  EXPECT_TRUE(std::isfinite(h));
+  EXPECT_NEAR(h, std::log(2.0), 1e-12);
+  // Probabilities below the 1e-12 guard also contribute exactly 0.
+  EXPECT_DOUBLE_EQ(rl::entropy_of({1.0, 1e-15, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(rl::entropy_of({}), 0.0);
+  // Uniform distribution is the maximum: log n.
+  EXPECT_NEAR(rl::entropy_of({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropySchedule, LinearDecayHitsBothEndpointsAndClampsAtFinal) {
+  rl::TrainerOptions options;
+  options.entropy_coef = 0.5;
+  options.entropy_coef_final = 0.03;
+  options.entropy_decay_iters = 10;
+  ScheduleProbe probe(3, 3, options, 1);
+  EXPECT_DOUBLE_EQ(probe.next_entropy_coef(), 0.5);  // t = 0: initial value
+  for (int t = 1; t < 10; ++t) {
+    EXPECT_NEAR(probe.next_entropy_coef(),
+                0.5 + (t / 10.0) * (0.03 - 0.5), 1e-12);
+  }
+  // t >= decay_iters: pinned at the final value forever (up to the rounding
+  // of the lerp's last step -- progress clamps to exactly 1.0).
+  EXPECT_NEAR(probe.next_entropy_coef(), 0.03, 1e-15);
+  EXPECT_NEAR(probe.next_entropy_coef(), 0.03, 1e-15);
+}
+
+TEST(EntropySchedule, NonPositiveDecayItersPinsAtFinalImmediately) {
+  rl::TrainerOptions options;
+  options.entropy_coef = 0.5;
+  options.entropy_coef_final = 0.07;
+  options.entropy_decay_iters = 0;
+  ScheduleProbe probe(3, 3, options, 1);
+  EXPECT_DOUBLE_EQ(probe.next_entropy_coef(), 0.07);
+  EXPECT_DOUBLE_EQ(probe.next_entropy_coef(), 0.07);
+  options.entropy_decay_iters = -5;
+  ScheduleProbe negative(3, 3, options, 1);
+  EXPECT_DOUBLE_EQ(negative.next_entropy_coef(), 0.07);
+}
+
+TEST(Trainers, HealthStatsAreObservationalAndLeaveParamsIdentical) {
+  namespace health = netgym::health;
+  rl::TrainerOptions options;
+  rl::A2CTrainer plain(3, 3, options, 42);
+  rl::A2CTrainer monitored(3, 3, options, 42);
+  for (int i = 0; i < 3; ++i) plain.train_iteration(bandit_factory());
+
+  health::Watchdog::instance().enable({});
+  rl::IterationStats last;
+  for (int i = 0; i < 3; ++i) {
+    last = monitored.train_iteration(bandit_factory());
+  }
+  health::Watchdog::instance().disable();
+  health::Watchdog::instance().reset();
+
+  EXPECT_TRUE(last.health.computed);
+  EXPECT_GT(last.health.actor_grad_norm, 0.0);
+  EXPECT_GT(last.health.critic_grad_norm, 0.0);
+  EXPECT_LE(last.health.actor_grad_norm_clipped,
+            last.health.actor_grad_norm + 1e-12);
+  EXPECT_TRUE(std::isfinite(last.health.approx_kl));
+  EXPECT_TRUE(std::isfinite(last.health.explained_variance));
+  EXPECT_FALSE(last.health.non_finite);
+  // The monitored run's parameters are bit-identical to the unmonitored
+  // one's: the health layer is strictly observational.
+  EXPECT_EQ(plain.snapshot(), monitored.snapshot());
+}
+
+TEST(Trainers, PpoHealthStatsComputedAndObservational) {
+  namespace health = netgym::health;
+  rl::TrainerOptions options;
+  rl::PPOTrainer plain(3, 3, options, 7);
+  rl::PPOTrainer monitored(3, 3, options, 7);
+  for (int i = 0; i < 2; ++i) plain.train_iteration(bandit_factory());
+
+  health::Watchdog::instance().enable({});
+  rl::IterationStats last;
+  for (int i = 0; i < 2; ++i) {
+    last = monitored.train_iteration(bandit_factory());
+  }
+  health::Watchdog::instance().disable();
+  health::Watchdog::instance().reset();
+
+  EXPECT_TRUE(last.health.computed);
+  // PPO moves the policy, so the post-update KL against the pre-update
+  // log-probs is (weakly) informative -- and must be finite.
+  EXPECT_TRUE(std::isfinite(last.health.approx_kl));
+  EXPECT_FALSE(last.health.non_finite);
+  EXPECT_EQ(plain.snapshot(), monitored.snapshot());
+}
+
 }  // namespace
+

@@ -29,6 +29,7 @@
 #include "genet/curriculum.hpp"
 #include "netgym/checkpoint.hpp"
 #include "netgym/flight.hpp"
+#include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/stats.hpp"
 #include "netgym/telemetry.hpp"
@@ -73,6 +74,16 @@ every command also accepts:
                   episodes (step-level actions/rewards/env internals) as
                   JSONL to F; defaults to the GENET_FLIGHT env var when set.
   --flight-k N    how many worst episodes to retain (default 8).
+  --health-out F  enable the training-health watchdog (gradient norms,
+                  approximate update-KL, explained variance, NaN sentinels,
+                  alert rules) and write its JSONL records to F. When
+                  --log-file / GENET_LOG already installed a sink, health
+                  records flow to that sink instead and F is ignored.
+                  Defaults to the GENET_HEALTH env var when set. Strictly
+                  observational: results are bit-identical with it on or off.
+  --health-fail-fast
+                  abort with a nonzero exit when the watchdog sees any
+                  non-finite value (env: GENET_HEALTH_FAIL_FAST=1).
   --metrics-out F dump the final metrics table (counters, timers, histogram
                   p50/p90/p99/max) to F; '-' writes to stdout.
 )");
@@ -108,8 +119,8 @@ Options parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --option");
     const std::string key = argv[i] + 2;
-    if (key == "resume") {  // boolean flag: takes no value
-      options[key] = "1";
+    if (key == "resume" || key == "health-fail-fast") {
+      options[key] = "1";  // boolean flags: take no value
       continue;
     }
     if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
@@ -448,6 +459,23 @@ int main(int argc, char** argv) {
                               get_int(options, "flight-k", 8));
     } else {
       netgym::flight::install_from_env();  // GENET_FLIGHT / GENET_FLIGHT_K
+    }
+    if (options.count("health-out") != 0U ||
+        options.count("health-fail-fast") != 0U) {
+      netgym::health::Options hopt;
+      hopt.fail_fast = options.count("health-fail-fast") != 0U;
+      netgym::health::Watchdog::instance().enable(hopt);
+      if (options.count("health-out") != 0U) {
+        if (netgym::telemetry::logging_enabled()) {
+          std::fprintf(stderr,
+                       "note: a run log is already installed; health records "
+                       "flow there, --health-out path ignored\n");
+        } else {
+          netgym::telemetry::open_global_logger(options.at("health-out"));
+        }
+      }
+    } else {
+      netgym::health::install_from_env();  // GENET_HEALTH[_FAIL_FAST]
     }
     if (netgym::telemetry::logging_enabled()) {
       std::vector<netgym::telemetry::Field> fields;
