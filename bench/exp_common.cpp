@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "netgym/checkpoint.hpp"
+#include "nn/gemm.hpp"
 #include "netgym/flight.hpp"
 #include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
@@ -206,6 +207,8 @@ void print_header(const std::string& experiment, const std::string& claim) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("paper: %s\n", claim.c_str());
+  std::printf("math: %s (%s kernels)\n", nn::math_mode_name(nn::math_mode()),
+              nn::active_kernel_name());
   std::printf("================================================================\n");
 }
 

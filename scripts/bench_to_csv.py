@@ -6,10 +6,16 @@ combined output back into one block per experiment and converts every
 whitespace-aligned table row into CSV, so the figures can be re-plotted with
 any tool. Pure stdlib, no dependencies.
 
+A `BENCH_*.json` report (e.g. BENCH_throughput.json from bench_throughput)
+can be passed instead of the text log: every top-level array-of-objects
+section becomes its own CSV (keys in first-row order), so the perf
+trajectory plots share the pipeline with the figure tables.
+
 Usage:
-    python3 scripts/bench_to_csv.py [bench_output.txt] [output_dir]
+    python3 scripts/bench_to_csv.py [bench_output.txt | BENCH_x.json] [output_dir]
 """
 
+import json
 import os
 import re
 import sys
@@ -129,9 +135,45 @@ def metrics_rows(block):
     return rows, rest
 
 
+def json_sections_to_csv(src, out_dir):
+    """Write one CSV per top-level list-of-objects section of a JSON report.
+
+    Column order follows the first row's keys; rows missing a key get an
+    empty cell. The file stem (e.g. "bench_throughput" for
+    BENCH_throughput.json) prefixes each CSV name.
+    """
+    with open(src, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        print(f"{src}: top level is not a JSON object", file=sys.stderr)
+        return None
+    stem = slugify(os.path.splitext(os.path.basename(src))[0])
+    count = 0
+    for section, rows in doc.items():
+        if not isinstance(rows, list) or not rows:
+            continue
+        if not all(isinstance(r, dict) for r in rows):
+            continue
+        columns = list(rows[0].keys())
+        path = os.path.join(out_dir, f"{stem}_{slugify(section)}.csv")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(",".join(columns) + "\n")
+            for row in rows:
+                out.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+        count += 1
+    return count
+
+
 def main() -> int:
     src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    if src.endswith(".json"):
+        os.makedirs(out_dir, exist_ok=True)
+        count = json_sections_to_csv(src, out_dir)
+        if count is None:
+            return 1
+        print(f"wrote {count} CSV files to {out_dir}/")
+        return 0
     with open(src, encoding="utf-8") as handle:
         lines = handle.readlines()
     os.makedirs(out_dir, exist_ok=True)

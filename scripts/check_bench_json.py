@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate BENCH_throughput.json (written by bench/bench_throughput).
+
+Checks the schema the throughput harness commits to: the header fields, the
+four measurement sections (gemm, inference, rollout, training, gap_eval)
+with per-row field types, the strict-mode bit-identity flags, and the
+summary block. `--min-speedup X` additionally requires
+summary.batched_speedup_at_32 >= X — CI runs with `--min-speedup 1.0`
+(batched must never be slower than the per-sample loop); the committed
+full-run report is held to the 2.0 target recorded in the summary itself.
+
+Usage:
+    python3 scripts/check_bench_json.py FILE [--min-speedup X]
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+Pure stdlib, no dependencies.
+"""
+
+import json
+import sys
+
+# section -> (field -> type); "num" means int or float.
+ROW_SCHEMAS = {
+    "gemm": {
+        "batch": "int",
+        "scalar_ns_per_sample": "num",
+        "strict_ns_per_sample": "num",
+        "fast_ns_per_sample": "num",
+        "strict_speedup": "num",
+        "fast_speedup": "num",
+        "strict_bit_identical": "bool",
+        "fast_max_rel_err": "num",
+    },
+    "inference": None,  # same as gemm; filled below
+    "rollout": {
+        "task": "str",
+        "threads": "int",
+        "env_steps_per_s": "num",
+        "speedup_vs_serial": "num",
+    },
+    "training": {
+        "task": "str",
+        "algo": "str",
+        "updates_per_s": "num",
+        "env_steps_per_s": "num",
+    },
+    "gap_eval": {
+        "task": "str",
+        "baseline": "str",
+        "episodes_per_s": "num",
+    },
+}
+ROW_SCHEMAS["inference"] = ROW_SCHEMAS["gemm"]
+
+SUMMARY_FIELDS = {
+    "batched_speedup_at_32": "num",
+    "fast_speedup_at_32": "num",
+    "mlp_strict_speedup_at_32": "num",
+    "target_speedup_at_32": "num",
+}
+
+
+def type_ok(value, kind):
+    if kind == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "num":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if kind == "bool":
+        return isinstance(value, bool)
+    if kind == "str":
+        return isinstance(value, str)
+    return False
+
+
+def check_fields(where, obj, schema):
+    for field, kind in schema.items():
+        if field not in obj:
+            return f"{where}: missing field '{field}'"
+        if not type_ok(obj[field], kind):
+            return (
+                f"{where}: field '{field}' has wrong type "
+                f"({type(obj[field]).__name__}, want {kind})"
+            )
+    return None
+
+
+def check(path, doc, min_speedup):
+    if not isinstance(doc, dict):
+        return f"{path}: top level is not a JSON object"
+    header = {
+        "bench": "str",
+        "schema_version": "int",
+        "quick": "bool",
+        "threads_available": "int",
+        "cpu_avx2_fma": "bool",
+    }
+    err = check_fields(path, doc, header)
+    if err:
+        return err
+    if doc["bench"] != "throughput":
+        return f"{path}: bench is '{doc['bench']}', want 'throughput'"
+    if doc["schema_version"] != 1:
+        return f"{path}: unknown schema_version {doc['schema_version']}"
+
+    for section, schema in ROW_SCHEMAS.items():
+        rows = doc.get(section)
+        if not isinstance(rows, list) or not rows:
+            return f"{path}: section '{section}' missing or empty"
+        for i, row in enumerate(rows):
+            where = f"{path}: {section}[{i}]"
+            if not isinstance(row, dict):
+                return f"{where}: not an object"
+            err = check_fields(where, row, schema)
+            if err:
+                return err
+            if "strict_bit_identical" in row and not row["strict_bit_identical"]:
+                return (
+                    f"{where}: strict batched result was not bit-identical "
+                    f"to the per-sample loop (batch {row['batch']})"
+                )
+
+    # The speedup headline is defined at batch 32; require that the row the
+    # summary is derived from actually exists.
+    if not any(row["batch"] == 32 for row in doc["gemm"]):
+        return f"{path}: gemm section has no batch=32 row"
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        return f"{path}: summary missing"
+    err = check_fields(f"{path}: summary", summary, SUMMARY_FIELDS)
+    if err:
+        return err
+    if min_speedup is not None:
+        got = summary["batched_speedup_at_32"]
+        if got < min_speedup:
+            return (
+                f"{path}: batched_speedup_at_32 is {got:.2f}, "
+                f"below required {min_speedup:.2f}"
+            )
+    return None
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    path = None
+    min_speedup = None
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-speedup":
+            if i + 1 >= len(argv):
+                print("--min-speedup needs a value", file=sys.stderr)
+                return 1
+            try:
+                min_speedup = float(argv[i + 1])
+            except ValueError:
+                print(f"bad --min-speedup value '{argv[i + 1]}'", file=sys.stderr)
+                return 1
+            i += 2
+            continue
+        if path is None:
+            path = argv[i]
+        else:
+            print(__doc__, file=sys.stderr)
+            return 1
+        i += 1
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: {err}", file=sys.stderr)
+        return 1
+
+    err = check(path, doc, min_speedup)
+    if err:
+        print(err, file=sys.stderr)
+        return 1
+    rows = sum(len(doc[s]) for s in ROW_SCHEMAS)
+    speedup = doc["summary"]["batched_speedup_at_32"]
+    print(
+        f"{path}: schema OK ({rows} rows, batched_speedup_at_32 "
+        f"{speedup:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

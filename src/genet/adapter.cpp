@@ -8,6 +8,7 @@
 #include "abr/baselines.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/tracing.hpp"
+#include "rl/lockstep.hpp"
 #include "abr/env.hpp"
 #include "abr/optimal.hpp"
 #include "cc/baselines.hpp"
@@ -93,6 +94,74 @@ bool cloneable(const netgym::Policy& policy) {
   return policy.clone() != nullptr;
 }
 
+/// Step cap of `netgym::run_episode`'s default, which the serial eval path
+/// relies on; the lockstep path must bound episodes identically.
+constexpr int kEvalMaxSteps = 100000;
+
+/// One evaluation item prepared for lockstep batching: the environment the
+/// RL policy rolls through, plus an optional `finish` hook that consumes the
+/// RL episode's mean reward — running any baseline/oracle episode on the
+/// item's stream — and returns the item's value. Everything `finish` needs
+/// (reference env, baseline policy) is captured inside it; a null `finish`
+/// means the item's value is the RL mean reward itself.
+struct EvalPlan {
+  std::unique_ptr<netgym::Env> rl_env;
+  std::function<double(double rl_mean_reward, netgym::Rng& item_rng)> finish;
+};
+
+/// Lockstep-batched variant of `forked_map` for MLP policies: items are
+/// grouped into jobs (one policy copy and one "eval" span per job), each
+/// job's RL episodes advance together through batched forward passes, and
+/// each item's `finish` hook then runs in item order on the item's own
+/// stream. Stream discipline matches the serial path draw for draw — per
+/// item: plan-time setup draws, then RL episode draws, then finish draws —
+/// so in strict math mode the values are bit-identical to `forked_map`'s at
+/// any group size or thread count. Policies that are not `rl::MlpPolicy`
+/// fall back to `forked_map(serial_item)` unchanged.
+std::vector<double> batched_map(
+    int n, netgym::Rng& rng, netgym::Policy& policy,
+    const std::function<EvalPlan(std::size_t, netgym::Rng&)>& plan,
+    const std::function<double(std::size_t, netgym::Rng&)>& serial_item) {
+  auto* mlp = dynamic_cast<rl::MlpPolicy*>(&policy);
+  if (mlp == nullptr) {
+    return forked_map(n, rng, cloneable(policy), serial_item);
+  }
+  std::vector<netgym::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) streams.push_back(rng.fork());
+  const std::size_t count = static_cast<std::size_t>(n);
+  std::vector<double> values(count);
+  const std::size_t group = rl::lockstep_group_size(count);
+  const std::size_t jobs = (count + group - 1) / group;
+  netgym::parallel_for_each(jobs, [&](std::size_t g) {
+    const std::size_t begin = g * group;
+    const std::size_t end = std::min(begin + group, count);
+    netgym::tracing::TraceSpan span("eval", "genet",
+                                    static_cast<std::int64_t>(begin));
+    rl::MlpPolicy local = *mlp;
+    std::vector<EvalPlan> plans;
+    std::vector<netgym::Env*> envs;
+    std::vector<netgym::Rng*> rngs;
+    plans.reserve(end - begin);
+    envs.reserve(end - begin);
+    rngs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      plans.push_back(plan(i, streams[i]));
+      envs.push_back(plans.back().rl_env.get());
+      rngs.push_back(&streams[i]);
+    }
+    const std::vector<netgym::EpisodeStats> stats =
+        rl::run_episodes_lockstep(local, envs, rngs, kEvalMaxSteps);
+    for (std::size_t j = 0; j < plans.size(); ++j) {
+      const std::size_t i = begin + j;
+      values[i] = plans[j].finish
+                      ? plans[j].finish(stats[j].mean_reward, streams[i])
+                      : stats[j].mean_reward;
+    }
+  });
+  return values;
+}
+
 }  // namespace
 
 std::unique_ptr<netgym::Env> TaskAdapter::make_env_from_trace(
@@ -119,8 +188,14 @@ rl::EnvFactory TaskAdapter::factory_for(const netgym::Config& config) const {
 double test_on_config(const TaskAdapter& task, netgym::Policy& policy,
                       const netgym::Config& config, int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("test_on_config: n must be > 0");
-  return mean_of(forked_map(
-      n, rng, cloneable(policy), [&](std::size_t, netgym::Rng& item_rng) {
+  return mean_of(batched_map(
+      n, rng, policy,
+      [&](std::size_t, netgym::Rng& item_rng) {
+        EvalPlan p;
+        p.rl_env = task.make_env(config, item_rng);
+        return p;
+      },
+      [&](std::size_t, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = policy.clone();
         auto env = task.make_env(config, item_rng);
         return netgym::run_episode(*env, local_policy(local, policy), item_rng)
@@ -134,8 +209,14 @@ double test_on_distribution(const TaskAdapter& task, netgym::Policy& policy,
   if (n <= 0) {
     throw std::invalid_argument("test_on_distribution: n must be > 0");
   }
-  return mean_of(forked_map(
-      n, rng, cloneable(policy), [&](std::size_t, netgym::Rng& item_rng) {
+  return mean_of(batched_map(
+      n, rng, policy,
+      [&](std::size_t, netgym::Rng& item_rng) {
+        EvalPlan p;
+        p.rl_env = task.make_env(dist.sample(item_rng), item_rng);
+        return p;
+      },
+      [&](std::size_t, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = policy.clone();
         auto env = task.make_env(dist.sample(item_rng), item_rng);
         return netgym::run_episode(*env, local_policy(local, policy), item_rng)
@@ -147,8 +228,13 @@ std::vector<double> test_per_trace(const TaskAdapter& task,
                                    netgym::Policy& policy,
                                    const std::vector<netgym::Trace>& corpus,
                                    netgym::Rng& rng) {
-  return forked_map(
-      static_cast<int>(corpus.size()), rng, cloneable(policy),
+  return batched_map(
+      static_cast<int>(corpus.size()), rng, policy,
+      [&](std::size_t i, netgym::Rng& item_rng) {
+        EvalPlan p;
+        p.rl_env = task.make_env_from_trace(corpus[i], item_rng);
+        return p;
+      },
       [&](std::size_t i, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = policy.clone();
         auto env = task.make_env_from_trace(corpus[i], item_rng);
@@ -162,10 +248,27 @@ double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
                        const netgym::Config& config, int n,
                        netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_baseline: n must be > 0");
-  return mean_of(forked_map(
-      n, rng, cloneable(rl_policy), [&](std::size_t, netgym::Rng& item_rng) {
-        const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
+  return mean_of(batched_map(
+      n, rng, rl_policy,
+      [&](std::size_t, netgym::Rng& item_rng) {
         // Both policies see the same environment instance (fresh copy each).
+        netgym::Rng env_rng = item_rng.fork();
+        netgym::Rng env_rng2 = env_rng;
+        EvalPlan p;
+        p.rl_env = task.make_env(config, env_rng);
+        std::shared_ptr<netgym::Env> env_rule =
+            task.make_env(config, env_rng2);
+        std::shared_ptr<netgym::Policy> baseline =
+            task.make_baseline(baseline_name, *env_rule);
+        p.finish = [env_rule, baseline](double r_rl, netgym::Rng& rng2) {
+          const double r_rule =
+              netgym::run_episode(*env_rule, *baseline, rng2).mean_reward;
+          return r_rule - r_rl;
+        };
+        return p;
+      },
+      [&](std::size_t, netgym::Rng& item_rng) {
+        const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
         netgym::Rng env_rng = item_rng.fork();
         netgym::Rng env_rng2 = env_rng;
         auto env_rl = task.make_env(config, env_rng);
@@ -184,8 +287,20 @@ double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
 double gap_to_optimum(const TaskAdapter& task, netgym::Policy& rl_policy,
                       const netgym::Config& config, int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_optimum: n must be > 0");
-  return mean_of(forked_map(
-      n, rng, cloneable(rl_policy), [&](std::size_t, netgym::Rng& item_rng) {
+  return mean_of(batched_map(
+      n, rng, rl_policy,
+      [&](std::size_t, netgym::Rng& item_rng) {
+        netgym::Rng env_rng = item_rng.fork();
+        netgym::Rng env_rng2 = env_rng;
+        EvalPlan p;
+        p.rl_env = task.make_env(config, env_rng);
+        std::shared_ptr<netgym::Env> env_opt = task.make_env(config, env_rng2);
+        p.finish = [&task, env_opt](double r_rl, netgym::Rng& rng2) {
+          return task.optimal_mean_reward(*env_opt, rng2) - r_rl;
+        };
+        return p;
+      },
+      [&](std::size_t, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
         netgym::Rng env_rng = item_rng.fork();
         netgym::Rng env_rng2 = env_rng;
@@ -204,6 +319,10 @@ double gap_between(const TaskAdapter& task, netgym::Policy& policy,
                    netgym::Policy& reference, const netgym::Config& config,
                    int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_between: n must be > 0");
+  // Deliberately not lockstep-batched: both episodes draw from the shared
+  // item stream inside one expression whose operand order the compiler
+  // chose, so splitting them across a plan/finish boundary could silently
+  // reorder draws (and `reference` is often not an MLP anyway).
   const bool parallel_ok = cloneable(policy) && cloneable(reference);
   return mean_of(forked_map(
       n, rng, parallel_ok, [&](std::size_t, netgym::Rng& item_rng) {

@@ -88,6 +88,16 @@ void install(const std::string& path,
 /// not already enabled. Returns true if tracing is enabled after the call.
 bool install_from_env();
 
+/// Record a span with explicit timestamps (from `now_ns()`). For code that
+/// interleaves logical regions on one thread — e.g. lockstepped episodes,
+/// which start and finish at different ticks of a shared loop — and so
+/// cannot scope an RAII TraceSpan per region. No-op while tracing is off.
+inline void emit_span(const char* name, const char* cat, std::int64_t start_ns,
+                      std::int64_t dur_ns, std::int64_t index = -1) {
+  if (!enabled()) return;
+  detail::emit({name, cat, start_ns, dur_ns, index});
+}
+
 /// RAII span. Records [construction, destruction) of the enclosing scope
 /// under `name`, categorized by `cat` (rl / genet / env / pool / cli --
 /// Perfetto colors and filters by category), optionally tagged with an item

@@ -1,0 +1,183 @@
+#include "nn/gemm.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nn {
+
+namespace {
+
+MathMode resolve_initial_mode() {
+  const char* env = std::getenv("GENET_MATH");
+  if (env == nullptr || *env == '\0') return MathMode::kStrict;
+  try {
+    return parse_math_mode(env);
+  } catch (const std::invalid_argument&) {
+    // A typo in an environment variable must not silently change numerics;
+    // fail loudly instead of guessing.
+    throw std::invalid_argument(std::string("GENET_MATH: unknown mode '") +
+                                env + "' (want strict or fast)");
+  }
+}
+
+std::atomic<int>& mode_storage() {
+  // -1 = unresolved; lazily resolved from GENET_MATH on first read so library
+  // users who never touch the knob pay one getenv, ever.
+  static std::atomic<int> mode{-1};
+  return mode;
+}
+
+bool runtime_cpu_supports_avx2_fma() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+MathMode math_mode() {
+  std::atomic<int>& mode = mode_storage();
+  int current = mode.load(std::memory_order_relaxed);
+  if (current < 0) {
+    const MathMode resolved = resolve_initial_mode();
+    int expected = -1;
+    // Another thread may resolve concurrently; both compute the same value.
+    mode.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                 std::memory_order_relaxed);
+    current = mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<MathMode>(current);
+}
+
+void set_math_mode(MathMode mode) {
+  mode_storage().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+MathMode parse_math_mode(const std::string& name) {
+  if (name == "strict") return MathMode::kStrict;
+  if (name == "fast") return MathMode::kFast;
+  throw std::invalid_argument("parse_math_mode: unknown mode '" + name +
+                              "' (want strict or fast)");
+}
+
+const char* math_mode_name(MathMode mode) {
+  return mode == MathMode::kFast ? "fast" : "strict";
+}
+
+bool cpu_has_avx2_fma() {
+  static const bool supported =
+      detail::avx2_kernels_compiled() && runtime_cpu_supports_avx2_fma();
+  return supported;
+}
+
+const char* active_kernel_name() {
+  if (!cpu_has_avx2_fma()) return "scalar-tiled";
+  return math_mode() == MathMode::kFast ? "avx2-fma" : "avx2-strict";
+}
+
+namespace detail {
+
+// Tile width of the n (output-column) dimension: 8 doubles is one cache line
+// and maps onto 4 SSE2 / 2 AVX registers, so the accumulator block below
+// stays enregistered at any vector width the compiler targets.
+constexpr int kNTile = 8;
+
+void gemm_nn_scalar(int M, int N, int K, const double* A, const double* B,
+                    double* C) {
+  for (int m = 0; m < M; ++m) {
+    const double* a = A + static_cast<std::size_t>(m) * K;
+    double* c = C + static_cast<std::size_t>(m) * N;
+    int n0 = 0;
+    for (; n0 + kNTile <= N; n0 += kNTile) {
+      // k-outer with a register-resident C tile: each acc[t] still receives
+      // its addends in ascending-k order, so this is bit-identical to the
+      // naive per-element dot product while giving the compiler kNTile
+      // independent accumulation chains to vectorize across.
+      double acc[kNTile];
+      for (int t = 0; t < kNTile; ++t) acc[t] = c[n0 + t];
+      for (int k = 0; k < K; ++k) {
+        const double f = a[k];
+        const double* b = B + static_cast<std::size_t>(k) * N + n0;
+        for (int t = 0; t < kNTile; ++t) acc[t] += f * b[t];
+      }
+      for (int t = 0; t < kNTile; ++t) c[n0 + t] = acc[t];
+    }
+    for (; n0 < N; ++n0) {
+      double acc = c[n0];
+      for (int k = 0; k < K; ++k) {
+        acc += a[k] * B[static_cast<std::size_t>(k) * N + n0];
+      }
+      c[n0] = acc;
+    }
+  }
+}
+
+void gemm_tn_scalar(int M, int N, int K, const double* A, const double* B,
+                    double* C) {
+  for (int m = 0; m < M; ++m) {
+    double* c = C + static_cast<std::size_t>(m) * N;
+    int n0 = 0;
+    for (; n0 + kNTile <= N; n0 += kNTile) {
+      double acc[kNTile];
+      for (int t = 0; t < kNTile; ++t) acc[t] = c[n0 + t];
+      for (int k = 0; k < K; ++k) {
+        const double f = A[static_cast<std::size_t>(k) * M + m];
+        const double* b = B + static_cast<std::size_t>(k) * N + n0;
+        for (int t = 0; t < kNTile; ++t) acc[t] += f * b[t];
+      }
+      for (int t = 0; t < kNTile; ++t) c[n0 + t] = acc[t];
+    }
+    for (; n0 < N; ++n0) {
+      double acc = c[n0];
+      for (int k = 0; k < K; ++k) {
+        acc += A[static_cast<std::size_t>(k) * M + m] *
+               B[static_cast<std::size_t>(k) * N + n0];
+      }
+      c[n0] = acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+void gemm_nn(int M, int N, int K, const double* A, const double* B,
+             double* C) {
+  if (cpu_has_avx2_fma()) {
+    if (math_mode() == MathMode::kFast) {
+      detail::gemm_nn_avx2(M, N, K, A, B, C);
+    } else {
+      // Bit-identical to the scalar kernel (multiply-then-add, ascending k).
+      detail::gemm_nn_avx2_strict(M, N, K, A, B, C);
+    }
+    return;
+  }
+  detail::gemm_nn_scalar(M, N, K, A, B, C);
+}
+
+void gemm_tn(int M, int N, int K, const double* A, const double* B,
+             double* C) {
+  if (cpu_has_avx2_fma()) {
+    if (math_mode() == MathMode::kFast) {
+      detail::gemm_tn_avx2(M, N, K, A, B, C);
+    } else {
+      detail::gemm_tn_avx2_strict(M, N, K, A, B, C);
+    }
+    return;
+  }
+  detail::gemm_tn_scalar(M, N, K, A, B, C);
+}
+
+void transpose(int rows, int cols, const double* src, double* dst) {
+  for (int r = 0; r < rows; ++r) {
+    const double* s = src + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) {
+      dst[static_cast<std::size_t>(c) * rows + r] = s[c];
+    }
+  }
+}
+
+}  // namespace nn

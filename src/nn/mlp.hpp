@@ -13,7 +13,8 @@ namespace nn {
 /// (policy heads apply softmax themselves; value heads are scalar).
 enum class Activation { kTanh, kRelu };
 
-/// A small fully-connected network with flat parameter storage.
+/// A small fully-connected network with flat parameter storage and a batched
+/// compute core.
 ///
 /// All weights and biases live in one contiguous vector (`params()`), with a
 /// parallel gradient vector (`grads()`), so optimizers operate on flat arrays
@@ -21,9 +22,23 @@ enum class Activation { kTanh, kRelu };
 /// (input width `n_in`, output width `n_out`) is a row-major `n_out x n_in`
 /// weight block followed by `n_out` biases.
 ///
-/// `forward` caches per-layer activations; `backward` consumes that cache, so
-/// the call pattern per sample is forward -> backward. Gradients accumulate
-/// across samples until `zero_grad()`.
+/// The batched entry points (`forward_batch` / `backward_batch`) run N
+/// samples through the cache-blocked GEMM kernels in nn/gemm.hpp and reuse
+/// member scratch buffers, so steady-state calls perform no heap
+/// allocations. The per-sample `forward` / `backward` are thin N=1 wrappers
+/// over the same machinery. Under the default strict math mode (see
+/// nn::MathMode) a batched pass is bit-identical to looping the per-sample
+/// one, for both outputs and accumulated gradients.
+///
+/// `forward_batch` caches the batch's per-layer activations; `backward_batch`
+/// consumes that cache, so the call pattern is forward -> backward with a
+/// matching batch size. Gradients accumulate across calls until
+/// `zero_grad()`.
+///
+/// Copying an `Mlp` copies topology, parameters, and gradients but not the
+/// transient forward cache or scratch buffers (a copy cannot call `backward`
+/// before its own `forward`); rollout workers clone policies per job, so
+/// keeping multi-megabyte batch scratch out of the copy matters.
 class Mlp : public netgym::checkpoint::Serializable {
  public:
   /// `sizes` lists the widths of every layer, e.g. {10, 32, 32, 6} is a net
@@ -31,15 +46,34 @@ class Mlp : public netgym::checkpoint::Serializable {
   /// Xavier-initialized from `rng`.
   Mlp(std::vector<int> sizes, Activation activation, netgym::Rng& rng);
 
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
   int input_size() const { return sizes_.front(); }
   int output_size() const { return sizes_.back(); }
 
-  /// Run the network; returns the (linear) output layer values.
-  std::vector<double> forward(const std::vector<double>& input);
+  /// Run the network on one sample; returns the (linear) output layer
+  /// values. The reference points into member scratch and is valid until the
+  /// next forward/backward call on this network (copy it to keep it).
+  const std::vector<double>& forward(const std::vector<double>& input);
 
   /// Backpropagate `dL/doutput` through the cached forward pass, accumulating
   /// parameter gradients. Must follow a `forward` call.
   void backward(const std::vector<double>& grad_output);
+
+  /// Run `n` samples (row-major `n x input_size`) through the network in one
+  /// batched pass. Returns the `n x output_size` output matrix, which points
+  /// into member scratch and is valid until the next forward/backward call.
+  const std::vector<double>& forward_batch(const double* inputs,
+                                           std::size_t n);
+
+  /// Backpropagate a batch of output gradients (row-major
+  /// `n x output_size`) through the cached batched forward pass,
+  /// accumulating parameter gradients exactly as if the samples had been
+  /// processed one by one in row order. `n` must match the cached batch.
+  void backward_batch(const double* grad_outputs, std::size_t n);
 
   void zero_grad();
 
@@ -69,17 +103,29 @@ class Mlp : public netgym::checkpoint::Serializable {
   std::vector<double> grads_;
   std::vector<std::size_t> weight_offsets_;  // per layer
   std::vector<std::size_t> bias_offsets_;    // per layer
-  // Forward-pass cache: activations_[0] is the input, activations_[l+1] the
-  // post-activation output of layer l; pre_activations_[l] the layer's z.
-  std::vector<std::vector<double>> activations_;
-  std::vector<std::vector<double>> pre_activations_;
-  bool has_forward_cache_ = false;
+
+  // Batched forward-pass cache, reused across calls (buffers only grow):
+  // acts_[0] is the n x input batch, acts_[l+1] the n x width post-activation
+  // output of layer l; zs_[l] the layer's n x width pre-activation.
+  std::vector<std::vector<double>> acts_;
+  std::vector<std::vector<double>> zs_;
+  std::vector<double> wt_scratch_;     // transposed weights of one layer
+  std::vector<double> delta_;          // n x width, dL/dz of current layer
+  std::vector<double> prev_delta_;     // n x width of the layer below
+  std::size_t cached_rows_ = 0;        // 0 = no valid forward cache
 };
 
 /// Numerically stable softmax.
 std::vector<double> softmax(const std::vector<double>& logits);
 
+/// Softmax of one `width`-wide row into `probs` (may not alias `logits`).
+/// Identical arithmetic to `softmax`, allocation-free.
+void softmax_row(const double* logits, int width, double* probs);
+
 /// log(softmax(logits)[index]) computed stably.
 double log_softmax_at(const std::vector<double>& logits, int index);
+
+/// Row variant of `log_softmax_at`, identical arithmetic.
+double log_softmax_row_at(const double* logits, int width, int index);
 
 }  // namespace nn

@@ -24,14 +24,22 @@ MlpPolicy::MlpPolicy(int obs_size, int action_count,
     : net_(make_sizes(obs_size, action_count, hidden), nn::Activation::kTanh,
            rng) {}
 
-int MlpPolicy::act(const netgym::Observation& obs, netgym::Rng& rng) {
-  const std::vector<double> z = net_.forward(obs);
+int MlpPolicy::sample_row(const double* logits_row, netgym::Rng& rng) {
+  const int k = net_.output_size();
   if (greedy_) {
-    return static_cast<int>(
-        std::distance(z.begin(), std::max_element(z.begin(), z.end())));
+    // std::max_element keeps the first maximum on ties, so greedy actions
+    // are deterministic and independent of how the logits were computed.
+    return static_cast<int>(std::distance(
+        logits_row, std::max_element(logits_row, logits_row + k)));
   }
-  const std::vector<double> p = nn::softmax(z);
-  return static_cast<int>(rng.categorical(p));
+  probs_scratch_.resize(static_cast<std::size_t>(k));
+  nn::softmax_row(logits_row, k, probs_scratch_.data());
+  return static_cast<int>(rng.categorical(probs_scratch_));
+}
+
+int MlpPolicy::act(const netgym::Observation& obs, netgym::Rng& rng) {
+  const std::vector<double>& z = net_.forward(obs);
+  return sample_row(z.data(), rng);
 }
 
 std::vector<double> MlpPolicy::logits(const netgym::Observation& obs) {
@@ -40,6 +48,20 @@ std::vector<double> MlpPolicy::logits(const netgym::Observation& obs) {
 
 std::vector<double> MlpPolicy::probs(const netgym::Observation& obs) {
   return nn::softmax(net_.forward(obs));
+}
+
+const std::vector<double>& MlpPolicy::logits_batch(const double* obs,
+                                                   std::size_t n) {
+  return net_.forward_batch(obs, n);
+}
+
+void MlpPolicy::act_batch(const double* obs, std::size_t n,
+                          netgym::Rng* const* rngs, int* actions) {
+  const std::vector<double>& z = net_.forward_batch(obs, n);
+  const int k = net_.output_size();
+  for (std::size_t m = 0; m < n; ++m) {
+    actions[m] = sample_row(z.data() + m * k, *rngs[m]);
+  }
 }
 
 }  // namespace rl

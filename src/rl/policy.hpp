@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,10 @@ namespace rl {
 /// `act` samples from the softmax distribution (training / stochastic
 /// evaluation); `set_greedy(true)` switches to argmax actions (deployment
 /// evaluation, the mode used by every test harness).
+///
+/// The `_batch` entry points push many observations through one batched
+/// forward pass (see nn::Mlp); in strict math mode their results are
+/// bit-identical to looping the per-observation calls.
 class MlpPolicy : public netgym::Policy {
  public:
   MlpPolicy(int obs_size, int action_count, const std::vector<int>& hidden,
@@ -34,6 +39,19 @@ class MlpPolicy : public netgym::Policy {
   /// Action probabilities for an observation.
   std::vector<double> probs(const netgym::Observation& obs);
 
+  /// Logits for `n` observations packed row-major (`n x obs_size`); returns
+  /// the `n x action_count` logit matrix. The reference points into the
+  /// network's scratch and is valid until its next forward/backward call.
+  const std::vector<double>& logits_batch(const double* obs, std::size_t n);
+
+  /// One action per packed observation row, sampled from that row's softmax
+  /// using the row's own RNG stream (or argmax when greedy). Writes
+  /// `actions[0..n)`. Each row consumes exactly the RNG draws of a scalar
+  /// `act` call on `*rngs[i]`, so lockstepped rollouts stay stream-for-stream
+  /// identical to sequential ones.
+  void act_batch(const double* obs, std::size_t n, netgym::Rng* const* rngs,
+                 int* actions);
+
   bool greedy() const { return greedy_; }
   void set_greedy(bool greedy) { greedy_ = greedy; }
 
@@ -48,8 +66,11 @@ class MlpPolicy : public netgym::Policy {
   void restore(const std::vector<double>& params) { net_.set_params(params); }
 
  private:
+  int sample_row(const double* logits_row, netgym::Rng& rng);
+
   nn::Mlp net_;
   bool greedy_ = false;
+  std::vector<double> probs_scratch_;
 };
 
 }  // namespace rl

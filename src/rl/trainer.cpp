@@ -10,10 +10,24 @@
 #include "netgym/parallel.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
+#include "rl/lockstep.hpp"
 
 namespace rl {
 
 namespace {
+
+/// Transitions' observations packed row-major into an `n x obs_size` matrix,
+/// ready for the batched forward passes below.
+std::vector<double> pack_observations(const RolloutBatch& batch,
+                                      int obs_size) {
+  std::vector<double> rows(batch.size() * static_cast<std::size_t>(obs_size));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const netgym::Observation& obs = batch.transitions[i].obs;
+    std::copy(obs.begin(), obs.end(),
+              rows.begin() + i * static_cast<std::size_t>(obs_size));
+  }
+  return rows;
+}
 
 std::vector<int> critic_sizes(int obs_size, const std::vector<int>& hidden) {
   std::vector<int> sizes;
@@ -69,37 +83,47 @@ RolloutBatch collect_batch(MlpPolicy& policy, const EnvFactory& factory,
     throw std::invalid_argument("collect_batch: episodes must be > 0");
   }
   // Determinism by construction: each episode gets its own RNG stream,
-  // forked serially up front, and its own copy of the policy (parameters are
-  // frozen during collection; only the forward cache is episode-local), so
-  // the thread schedule cannot change what any episode samples. Episodes are
-  // then concatenated in index order, making the batch bit-identical at any
-  // thread count.
+  // forked serially up front, so nothing an episode samples can depend on
+  // scheduling. Episodes are grouped into lockstep jobs — one policy copy
+  // per job, all of the job's still-running episodes advanced through a
+  // single batched forward per tick — and each job's environments are
+  // constructed in episode index order from the episodes' own streams.
+  // Because every episode touches only its own stream and its own env, and
+  // (in strict math mode) a batched forward is bit-identical per row to a
+  // scalar one, the batch is bit-identical at any group size and therefore
+  // at any thread count.
   std::vector<netgym::Rng> streams;
   streams.reserve(static_cast<std::size_t>(episodes));
   for (int e = 0; e < episodes; ++e) streams.push_back(rng.fork());
 
-  std::vector<std::vector<Transition>> per_episode(
-      static_cast<std::size_t>(episodes));
-  netgym::parallel_for_each(
-      static_cast<std::size_t>(episodes), [&](std::size_t e) {
-        netgym::tracing::TraceSpan span("episode", "rl",
-                                        static_cast<std::int64_t>(e));
-        MlpPolicy local = policy;
-        netgym::Rng& ep_rng = streams[e];
-        std::unique_ptr<netgym::Env> env = factory(ep_rng);
-        local.begin_episode();
-        netgym::Observation obs = env->reset();
-        for (int s = 0; s < max_steps_per_episode; ++s) {
-          const int action = local.act(obs, ep_rng);
-          netgym::Env::StepResult result = env->step(action);
-          const bool last_step =
-              result.done || (s + 1 == max_steps_per_episode);
-          per_episode[e].push_back(
-              Transition{std::move(obs), action, result.reward, last_step});
-          if (result.done) break;
-          obs = std::move(result.observation);
-        }
-      });
+  const std::size_t n_episodes = static_cast<std::size_t>(episodes);
+  const std::size_t group = lockstep_group_size(n_episodes);
+  const std::size_t jobs = (n_episodes + group - 1) / group;
+  std::vector<std::vector<Transition>> per_episode(n_episodes);
+  netgym::parallel_for_each(jobs, [&](std::size_t g) {
+    const std::size_t begin = g * group;
+    const std::size_t end = std::min(begin + group, n_episodes);
+    netgym::tracing::TraceSpan span("episode.block", "rl",
+                                    static_cast<std::int64_t>(g));
+    MlpPolicy local = policy;
+    std::vector<std::unique_ptr<netgym::Env>> envs;
+    std::vector<netgym::Env*> env_ptrs;
+    std::vector<netgym::Rng*> rng_ptrs;
+    envs.reserve(end - begin);
+    env_ptrs.reserve(end - begin);
+    rng_ptrs.reserve(end - begin);
+    for (std::size_t e = begin; e < end; ++e) {
+      envs.push_back(factory(streams[e]));
+      env_ptrs.push_back(envs.back().get());
+      rng_ptrs.push_back(&streams[e]);
+    }
+    std::vector<std::vector<Transition>> transitions;
+    run_episodes_lockstep(local, env_ptrs, rng_ptrs, max_steps_per_episode,
+                          &transitions);
+    for (std::size_t j = 0; j < transitions.size(); ++j) {
+      per_episode[begin + j] = std::move(transitions[j]);
+    }
+  });
 
   RolloutBatch batch;
   std::size_t total = 0;
@@ -230,17 +254,22 @@ void ActorCriticBase::finish_health_stats(const RolloutBatch& batch,
   h.critic_grad_norm_clipped = critic_opt_.last_clipped_grad_norm();
   h.explained_variance = explained_variance_of(targets, values);
 
-  // Approximate update-KL: one post-update forward pass per sample (reads
+  // Approximate update-KL: one post-update batched forward pass (reads
   // parameters, consumes no RNG; the forward cache it clobbers is rebuilt by
   // the next forward->backward pair anyway).
+  const std::size_t n = batch.size();
+  const int actions = policy_.action_count();
+  const std::vector<double> obs_rows =
+      pack_observations(batch, policy_.obs_size());
+  const std::vector<double>& logit_rows =
+      policy_.net().forward_batch(obs_rows.data(), n);
   double kl_sum = 0.0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Transition& t = batch.transitions[i];
-    const double new_logp =
-        nn::log_softmax_at(policy_.net().forward(t.obs), t.action);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double new_logp = nn::log_softmax_row_at(
+        logit_rows.data() + i * actions, actions, batch.transitions[i].action);
     kl_sum += old_logp[i] - new_logp;
   }
-  h.approx_kl = kl_sum / static_cast<double>(batch.size());
+  h.approx_kl = kl_sum / static_cast<double>(n);
 
   // Non-finite sentinels: scalar loss ingredients first (cheap, most
   // diagnostic), then full parameter scans.
@@ -368,58 +397,76 @@ IterationStats A2CTrainer::run_iteration(const EnvFactory& factory) {
     returns[i] = raw_returns[i] / scale;
   }
 
-  std::vector<double> values(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    values[i] = critic_value(batch.transitions[i].obs);
-  }
-  std::vector<double> adv(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  const std::size_t n = batch.size();
+  const std::vector<double> obs_rows =
+      pack_observations(batch, policy_.obs_size());
+
+  // Critic values in one batched pass (row-identical to per-sample forwards
+  // in strict mode). The forward cache this leaves behind is reused by the
+  // critic update below.
+  const std::vector<double>& value_rows = critic_.forward_batch(
+      obs_rows.data(), n);
+  std::vector<double> values(value_rows.begin(), value_rows.end());
+  std::vector<double> adv(n);
+  for (std::size_t i = 0; i < n; ++i) {
     adv[i] = returns[i] - values[i];
   }
   normalize(adv);
   advantage_span.end();
 
   netgym::tracing::TraceSpan update_span("update", "rl");
-  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  const double inv_n = 1.0 / static_cast<double>(n);
   const double ent_coef = next_entropy_coef();
   double entropy_sum = 0.0;
+  const int actions = policy_.action_count();
 
-  // Pre-update log-probs for the update-KL health stat. The actor loop's
-  // forwards all run before the single optimizer step, so capturing them
-  // there is free; only allocated when the watchdog wants them.
+  // Pre-update log-probs for the update-KL health stat. The actor pass runs
+  // before the optimizer step, so capturing them there is free; only
+  // allocated when the watchdog wants them.
   std::vector<double> old_logp;
   const bool capture_health = netgym::health::enabled();
-  if (capture_health) old_logp.resize(batch.size());
+  if (capture_health) old_logp.resize(n);
 
   // Actor: dL/dz_j = [-A * (1[a=j] - p_j) + c * p_j (log p_j + H)] / N.
+  // One batched forward for all logits, per-row grads assembled in sample
+  // order, one batched backward; gradient accumulation order matches the
+  // old per-sample forward/backward interleave exactly.
   policy_.net().zero_grad();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  const std::vector<double>& logit_rows =
+      policy_.net().forward_batch(obs_rows.data(), n);
+  std::vector<double> grad_rows(n * static_cast<std::size_t>(actions));
+  std::vector<double> p(static_cast<std::size_t>(actions));
+  for (std::size_t i = 0; i < n; ++i) {
     const Transition& t = batch.transitions[i];
-    const std::vector<double> logits = policy_.net().forward(t.obs);
-    const std::vector<double> p = nn::softmax(logits);
+    const double* logits = logit_rows.data() + i * actions;
+    nn::softmax_row(logits, actions, p.data());
     if (capture_health) {
-      old_logp[i] = nn::log_softmax_at(logits, t.action);
+      old_logp[i] = nn::log_softmax_row_at(logits, actions, t.action);
     }
     const double h = entropy_of(p);
     entropy_sum += h;
-    std::vector<double> grad(p.size());
-    for (std::size_t j = 0; j < p.size(); ++j) {
-      const double onehot = (static_cast<int>(j) == t.action) ? 1.0 : 0.0;
+    double* grad = grad_rows.data() + i * actions;
+    for (int j = 0; j < actions; ++j) {
+      const double onehot = (j == t.action) ? 1.0 : 0.0;
       const double pg = -adv[i] * (onehot - p[j]);
       const double eg =
           ent_coef * p[j] * (std::log(std::max(p[j], 1e-12)) + h);
       grad[j] = (pg + eg) * inv_n;
     }
-    policy_.net().backward(grad);
   }
+  policy_.net().backward_batch(grad_rows.data(), n);
   actor_opt_.step(policy_.net().params(), policy_.net().grads());
 
-  // Critic: MSE against scaled returns.
+  // Critic: MSE against scaled returns. The critic's parameters have not
+  // changed since the value pass above, so its cached batched forward (and
+  // `values`) are exactly what a fresh per-sample pass would recompute —
+  // the old code's second critic forward sweep is folded away.
   critic_.zero_grad();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const double v = critic_.forward(batch.transitions[i].obs)[0];
-    critic_.backward({2.0 * (v - returns[i]) * inv_n});
+  std::vector<double> critic_grads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    critic_grads[i] = 2.0 * (values[i] - returns[i]) * inv_n;
   }
+  critic_.backward_batch(critic_grads.data(), n);
   critic_opt_.step(critic_.params(), critic_.grads());
 
   stats.mean_entropy = entropy_sum * inv_n;
@@ -445,41 +492,57 @@ IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
   RolloutBatch scaled = batch;
   for (Transition& t : scaled.transitions) t.reward /= scale;
 
-  std::vector<double> values(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    values[i] = critic_value(batch.transitions[i].obs);
-  }
+  const std::size_t n = batch.size();
+  const std::vector<double> obs_rows =
+      pack_observations(batch, policy_.obs_size());
+
+  const std::vector<double>& value_rows =
+      critic_.forward_batch(obs_rows.data(), n);
+  std::vector<double> values(value_rows.begin(), value_rows.end());
   std::vector<double> adv = gae_advantages(scaled, values, options_.gamma,
                                            options_.gae_lambda);
   // Critic regression target: advantage + value (the lambda-return).
-  std::vector<double> targets(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  std::vector<double> targets(n);
+  for (std::size_t i = 0; i < n; ++i) {
     targets[i] = adv[i] + values[i];
   }
   normalize(adv);
   advantage_span.end();
 
   netgym::tracing::TraceSpan update_span("update", "rl");
-  std::vector<double> old_logp(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    old_logp[i] = nn::log_softmax_at(
-        policy_.net().forward(batch.transitions[i].obs),
-        batch.transitions[i].action);
+  const int actions = policy_.action_count();
+  std::vector<double> old_logp(n);
+  {
+    const std::vector<double>& logit_rows =
+        policy_.net().forward_batch(obs_rows.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      old_logp[i] = nn::log_softmax_row_at(logit_rows.data() + i * actions,
+                                           actions,
+                                           batch.transitions[i].action);
+    }
   }
 
-  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  const double inv_n = 1.0 / static_cast<double>(n);
   const double eps = options_.clip_epsilon;
   const double ent_coef = next_entropy_coef();
   double entropy_sum = 0.0;
   long entropy_count = 0;
 
+  std::vector<double> grad_rows(n * static_cast<std::size_t>(actions));
+  std::vector<double> p(static_cast<std::size_t>(actions));
+  std::vector<double> critic_grads(n);
   for (int epoch = 0; epoch < options_.ppo_epochs; ++epoch) {
+    // Actor parameters change every epoch, so each epoch re-runs one batched
+    // forward over the whole batch, assembles per-row surrogate gradients in
+    // sample order, and backpropagates them in one batched pass.
     policy_.net().zero_grad();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<double>& logit_rows =
+        policy_.net().forward_batch(obs_rows.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
       const Transition& t = batch.transitions[i];
-      const std::vector<double> logits = policy_.net().forward(t.obs);
-      const std::vector<double> p = nn::softmax(logits);
-      const double logp = nn::log_softmax_at(logits, t.action);
+      const double* logits = logit_rows.data() + i * actions;
+      nn::softmax_row(logits, actions, p.data());
+      const double logp = nn::log_softmax_row_at(logits, actions, t.action);
       const double ratio = std::exp(logp - old_logp[i]);
       const double h = entropy_of(p);
       entropy_sum += h;
@@ -488,24 +551,28 @@ IterationStats PPOTrainer::run_iteration(const EnvFactory& factory) {
       // moving further would only increase the clipped-away ratio.
       const bool clipped = (adv[i] > 0 && ratio > 1.0 + eps) ||
                            (adv[i] < 0 && ratio < 1.0 - eps);
-      std::vector<double> grad(p.size(), 0.0);
-      for (std::size_t j = 0; j < p.size(); ++j) {
-        const double onehot = (static_cast<int>(j) == t.action) ? 1.0 : 0.0;
+      double* grad = grad_rows.data() + i * actions;
+      for (int j = 0; j < actions; ++j) {
+        const double onehot = (j == t.action) ? 1.0 : 0.0;
         double pg = 0.0;
         if (!clipped) pg = -adv[i] * ratio * (onehot - p[j]);
         const double eg =
             ent_coef * p[j] * (std::log(std::max(p[j], 1e-12)) + h);
         grad[j] = (pg + eg) * inv_n;
       }
-      policy_.net().backward(grad);
     }
+    policy_.net().backward_batch(grad_rows.data(), n);
     actor_opt_.step(policy_.net().params(), policy_.net().grads());
 
+    // The critic also moves every epoch, so (unlike A2C's single update) its
+    // values must be recomputed per epoch before regressing onto targets.
     critic_.zero_grad();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const double v = critic_.forward(batch.transitions[i].obs)[0];
-      critic_.backward({2.0 * (v - targets[i]) * inv_n});
+    const std::vector<double>& epoch_values =
+        critic_.forward_batch(obs_rows.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      critic_grads[i] = 2.0 * (epoch_values[i] - targets[i]) * inv_n;
     }
+    critic_.backward_batch(critic_grads.data(), n);
     critic_opt_.step(critic_.params(), critic_.grads());
   }
 

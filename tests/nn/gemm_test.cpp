@@ -1,0 +1,206 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using nn::MathMode;
+
+/// Restores strict mode on scope exit so a failing test cannot leak fast
+/// mode into the rest of the suite (the determinism tests assume strict).
+struct MathModeGuard {
+  ~MathModeGuard() { nn::set_math_mode(MathMode::kStrict); }
+};
+
+std::vector<double> filled(int n, double scale) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = std::sin(scale * (i + 1));
+  return v;
+}
+
+/// The definition the strict contract pins: ascending-k accumulation, one
+/// multiply and one add per term, seeded from the existing C value.
+void naive_gemm_nn(int M, int N, int K, const std::vector<double>& A,
+                   const std::vector<double>& B, std::vector<double>& C) {
+  for (int m = 0; m < M; ++m) {
+    for (int n = 0; n < N; ++n) {
+      double acc = C[static_cast<std::size_t>(m) * N + n];
+      for (int k = 0; k < K; ++k) {
+        acc += A[static_cast<std::size_t>(m) * K + k] *
+               B[static_cast<std::size_t>(k) * N + n];
+      }
+      C[static_cast<std::size_t>(m) * N + n] = acc;
+    }
+  }
+}
+
+void naive_gemm_tn(int M, int N, int K, const std::vector<double>& A,
+                   const std::vector<double>& B, std::vector<double>& C) {
+  for (int m = 0; m < M; ++m) {
+    for (int n = 0; n < N; ++n) {
+      double acc = C[static_cast<std::size_t>(m) * N + n];
+      for (int k = 0; k < K; ++k) {
+        acc += A[static_cast<std::size_t>(k) * M + m] *
+               B[static_cast<std::size_t>(k) * N + n];
+      }
+      C[static_cast<std::size_t>(m) * N + n] = acc;
+    }
+  }
+}
+
+struct Shape {
+  int M, N, K;
+};
+
+// Exercises every tiling path: M=1 single row, N<4 (pure scalar tail),
+// 4<=N<16 (quad + tail), N=16 (one full vector tile), odd N (tile + quad +
+// tail), N=K=1 degenerate, and a larger-than-cache-tile case.
+const Shape kShapes[] = {{1, 1, 1},   {1, 7, 5},   {3, 2, 9},  {5, 16, 16},
+                         {4, 19, 11}, {32, 32, 32}, {8, 37, 3}, {64, 33, 17}};
+
+TEST(Gemm, StrictMatchesNaiveBitForBit) {
+  for (const Shape& s : kShapes) {
+    const std::vector<double> a = filled(s.M * s.K, 0.3);
+    const std::vector<double> b = filled(s.K * s.N, 0.7);
+    std::vector<double> c_naive = filled(s.M * s.N, 1.1);  // nonzero seed
+    std::vector<double> c_gemm = c_naive;
+    naive_gemm_nn(s.M, s.N, s.K, a, b, c_naive);
+    nn::gemm_nn(s.M, s.N, s.K, a.data(), b.data(), c_gemm.data());
+    EXPECT_EQ(c_naive, c_gemm) << "gemm_nn " << s.M << "x" << s.N << "x" << s.K;
+  }
+}
+
+TEST(Gemm, StrictTransposedMatchesNaiveBitForBit) {
+  for (const Shape& s : kShapes) {
+    const std::vector<double> a = filled(s.K * s.M, 0.4);
+    const std::vector<double> b = filled(s.K * s.N, 0.9);
+    std::vector<double> c_naive = filled(s.M * s.N, 0.2);
+    std::vector<double> c_gemm = c_naive;
+    naive_gemm_tn(s.M, s.N, s.K, a, b, c_naive);
+    nn::gemm_tn(s.M, s.N, s.K, a.data(), b.data(), c_gemm.data());
+    EXPECT_EQ(c_naive, c_gemm) << "gemm_tn " << s.M << "x" << s.N << "x" << s.K;
+  }
+}
+
+TEST(Gemm, ScalarKernelsMatchDispatchedStrict) {
+  // When AVX2 is available, strict dispatches to the multiply-then-add
+  // vector kernels; they must be indistinguishable from the scalar
+  // reference (this is what makes the dispatch an implementation detail).
+  for (const Shape& s : kShapes) {
+    const std::vector<double> a = filled(s.M * s.K, 0.5);
+    const std::vector<double> b = filled(s.K * s.N, 0.6);
+    std::vector<double> c_scalar = filled(s.M * s.N, 0.8);
+    std::vector<double> c_dispatch = c_scalar;
+    nn::detail::gemm_nn_scalar(s.M, s.N, s.K, a.data(), b.data(),
+                               c_scalar.data());
+    nn::gemm_nn(s.M, s.N, s.K, a.data(), b.data(), c_dispatch.data());
+    EXPECT_EQ(c_scalar, c_dispatch);
+  }
+}
+
+TEST(Gemm, AccumulatesIntoExistingC) {
+  const std::vector<double> a = filled(4, 0.3);  // 2x2
+  const std::vector<double> b = filled(4, 0.7);
+  std::vector<double> c{10.0, 20.0, 30.0, 40.0};
+  std::vector<double> expected = c;
+  naive_gemm_nn(2, 2, 2, a, b, expected);
+  nn::gemm_nn(2, 2, 2, a.data(), b.data(), c.data());
+  EXPECT_EQ(expected, c);
+  EXPECT_GT(std::abs(c[0] - 10.0), 0.0);  // it really added something
+}
+
+TEST(Gemm, SplitBatchesAreBitIdenticalToOneCall) {
+  // Rows of C depend only on the matching rows of A, so computing the top
+  // and bottom halves in separate calls must give the same bits. This is
+  // the property that makes lockstep rollout results independent of the
+  // thread count / job grouping.
+  const int M = 10;
+  const int N = 13;
+  const int K = 21;
+  const std::vector<double> a = filled(M * K, 0.2);
+  const std::vector<double> b = filled(K * N, 0.8);
+  std::vector<double> c_whole(static_cast<std::size_t>(M) * N, 0.0);
+  std::vector<double> c_split = c_whole;
+  nn::gemm_nn(M, N, K, a.data(), b.data(), c_whole.data());
+  const int top = 3;
+  nn::gemm_nn(top, N, K, a.data(), b.data(), c_split.data());
+  nn::gemm_nn(M - top, N, K, a.data() + static_cast<std::size_t>(top) * K,
+              b.data(), c_split.data() + static_cast<std::size_t>(top) * N);
+  EXPECT_EQ(c_whole, c_split);
+}
+
+TEST(Gemm, FastModeIsCloseAndRunToRunReproducible) {
+  MathModeGuard guard;
+  const int M = 16;
+  const int N = 24;
+  const int K = 32;
+  const std::vector<double> a = filled(M * K, 0.3);
+  const std::vector<double> b = filled(K * N, 0.7);
+  std::vector<double> c_strict(static_cast<std::size_t>(M) * N, 0.0);
+  nn::gemm_nn(M, N, K, a.data(), b.data(), c_strict.data());
+
+  nn::set_math_mode(MathMode::kFast);
+  std::vector<double> c_fast1(c_strict.size(), 0.0);
+  std::vector<double> c_fast2(c_strict.size(), 0.0);
+  nn::gemm_nn(M, N, K, a.data(), b.data(), c_fast1.data());
+  nn::gemm_nn(M, N, K, a.data(), b.data(), c_fast2.data());
+  EXPECT_EQ(c_fast1, c_fast2);  // reproducible for a fixed shape
+  for (std::size_t i = 0; i < c_strict.size(); ++i) {
+    EXPECT_NEAR(c_fast1[i], c_strict[i], 1e-9 * (1.0 + std::abs(c_strict[i])));
+  }
+}
+
+TEST(Gemm, TransposeRoundTrips) {
+  const int rows = 5;
+  const int cols = 7;
+  const std::vector<double> src = filled(rows * cols, 0.9);
+  std::vector<double> t(src.size());
+  std::vector<double> back(src.size());
+  nn::transpose(rows, cols, src.data(), t.data());
+  EXPECT_EQ(src[1 * cols + 3], t[3 * rows + 1]);
+  nn::transpose(cols, rows, t.data(), back.data());
+  EXPECT_EQ(src, back);
+}
+
+TEST(MathMode, ParseAcceptsStrictAndFast) {
+  EXPECT_EQ(nn::parse_math_mode("strict"), MathMode::kStrict);
+  EXPECT_EQ(nn::parse_math_mode("fast"), MathMode::kFast);
+  EXPECT_THROW(nn::parse_math_mode("turbo"), std::invalid_argument);
+  EXPECT_THROW(nn::parse_math_mode(""), std::invalid_argument);
+  EXPECT_THROW(nn::parse_math_mode("STRICT"), std::invalid_argument);
+}
+
+TEST(MathMode, NamesRoundTrip) {
+  EXPECT_STREQ(nn::math_mode_name(MathMode::kStrict), "strict");
+  EXPECT_STREQ(nn::math_mode_name(MathMode::kFast), "fast");
+}
+
+TEST(MathMode, SetAndQuery) {
+  MathModeGuard guard;
+  nn::set_math_mode(MathMode::kFast);
+  EXPECT_EQ(nn::math_mode(), MathMode::kFast);
+  nn::set_math_mode(MathMode::kStrict);
+  EXPECT_EQ(nn::math_mode(), MathMode::kStrict);
+}
+
+TEST(MathMode, KernelNameMatchesCapabilities) {
+  MathModeGuard guard;
+  nn::set_math_mode(MathMode::kStrict);
+  const std::string strict_name = nn::active_kernel_name();
+  nn::set_math_mode(MathMode::kFast);
+  const std::string fast_name = nn::active_kernel_name();
+  if (nn::cpu_has_avx2_fma()) {
+    EXPECT_TRUE(nn::detail::avx2_kernels_compiled());
+    EXPECT_EQ(strict_name, "avx2-strict");
+    EXPECT_EQ(fast_name, "avx2-fma");
+  } else {
+    EXPECT_EQ(strict_name, "scalar-tiled");
+    EXPECT_EQ(fast_name, "scalar-tiled");
+  }
+}
+
+}  // namespace

@@ -35,6 +35,7 @@
 #include "netgym/telemetry.hpp"
 #include "netgym/trace.hpp"
 #include "netgym/tracing.hpp"
+#include "nn/gemm.hpp"
 #include "traces/tracesets.hpp"
 
 namespace {
@@ -64,6 +65,12 @@ every command also accepts:
   --threads N     worker threads for rollouts and evaluations (default: the
                   GENET_THREADS env var, else all hardware threads; results
                   are identical at any thread count)
+  --math MODE     floating-point mode for the batched MLP kernels: 'strict'
+                  (default; bit-identical to per-sample math at any batch
+                  size or thread count) or 'fast' (AVX2/FMA kernels when the
+                  CPU has them; same answers to ~1 ulp per multiply-add but
+                  not bit-identical, and batch-size-dependent). Defaults to
+                  the GENET_MATH env var when set.
   --log-file F    write a JSONL run-telemetry trajectory (per-iteration,
                   per-round, and per-BO-trial events) to F; defaults to the
                   GENET_LOG env var when set. Telemetry never changes results.
@@ -443,6 +450,13 @@ int main(int argc, char** argv) {
     if (options.count("threads") != 0U) {
       netgym::set_num_threads(static_cast<int>(
           parse_integer("threads", options.at("threads"))));
+    }
+    if (options.count("math") != 0U) {
+      try {
+        nn::set_math_mode(nn::parse_math_mode(options.at("math")));
+      } catch (const std::invalid_argument&) {
+        usage("--math expects strict or fast");
+      }
     }
     if (options.count("log-file") != 0U) {
       netgym::telemetry::open_global_logger(options.at("log-file"));
