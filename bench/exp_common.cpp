@@ -11,6 +11,7 @@
 #include "netgym/flight.hpp"
 #include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
+#include "netgym/parse.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/tracing.hpp"
 
@@ -175,7 +176,18 @@ void parallel_sweep(int n, std::uint64_t seed,
 void parse_common_flags(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
-      netgym::set_num_threads(std::atoi(argv[i + 1]));
+      // Strict parse: `--threads garbage` used to become atoi's 0 (silently
+      // clamped to 1 thread); now it exits nonzero with a usage message.
+      std::int64_t threads = 0;
+      if (!netgym::parse_i64(argv[i + 1], threads) || threads < 1) {
+        std::fprintf(stderr,
+                     "error: --threads expects a positive integer, got '%s'\n"
+                     "usage: %s [--threads N] [--log-file F] [--trace-out F] "
+                     "[--flight-out F] [--checkpoint-dir D]\n",
+                     argv[i + 1], argv[0]);
+        std::exit(2);
+      }
+      netgym::set_num_threads(static_cast<int>(threads));
       ++i;
     } else if (std::strcmp(argv[i], "--log-file") == 0) {
       netgym::telemetry::open_global_logger(argv[i + 1]);

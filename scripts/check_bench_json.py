@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Validate BENCH_throughput.json (written by bench/bench_throughput).
+"""Validate the benchmark JSON reports committed at the repo root.
 
-Checks the schema the throughput harness commits to: the header fields, the
-four measurement sections (gemm, inference, rollout, training, gap_eval)
-with per-row field types, the strict-mode bit-identity flags, and the
-summary block. `--min-speedup X` additionally requires
-summary.batched_speedup_at_32 >= X — CI runs with `--min-speedup 1.0`
-(batched must never be slower than the per-sample loop); the committed
-full-run report is held to the 2.0 target recorded in the summary itself.
+Dispatches on the top-level "bench" field:
+
+  throughput  (bench/bench_throughput) — the header fields, the five
+      measurement sections (gemm, inference, rollout, training, gap_eval)
+      with per-row field types, the strict-mode bit-identity flags, and the
+      summary block. `--min-speedup X` additionally requires
+      summary.batched_speedup_at_32 >= X — CI runs with `--min-speedup 1.0`
+      (batched must never be slower than the per-sample loop); the committed
+      full-run report is held to the 2.0 target recorded in the summary.
+
+  serve  (bench/bench_serve_load) — the load-run header, the exact-percentile
+      latency block, and the hot-swap record. failed_requests must be 0 and
+      ok_requests must equal requests_total in every report. `--min-rps X`
+      additionally requires requests_per_s >= X; `--require-swap` requires
+      the hot-swap block to show a mid-run policy version change
+      (enabled, observed, >= 2 versions seen, last != first).
 
 Usage:
     python3 scripts/check_bench_json.py FILE [--min-speedup X]
+                                             [--min-rps X] [--require-swap]
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 Pure stdlib, no dependencies.
@@ -59,6 +69,31 @@ SUMMARY_FIELDS = {
     "target_speedup_at_32": "num",
 }
 
+SERVE_HEADER = {
+    "bench": "str",
+    "schema_version": "int",
+    "quick": "bool",
+    "mode": "str",
+    "sessions": "int",
+    "rounds": "int",
+    "connections": "int",
+    "window": "int",
+    "requests_total": "int",
+    "ok_requests": "int",
+    "failed_requests": "int",
+    "duration_s": "num",
+    "requests_per_s": "num",
+}
+
+SERVE_LATENCY_FIELDS = {"p50": "num", "p99": "num", "p999": "num", "max": "num"}
+
+SERVE_SWAP_FIELDS = {
+    "enabled": "bool",
+    "observed": "bool",
+    "first_version": "int",
+    "last_version": "int",
+}
+
 
 def type_ok(value, kind):
     if kind == "int":
@@ -84,9 +119,7 @@ def check_fields(where, obj, schema):
     return None
 
 
-def check(path, doc, min_speedup):
-    if not isinstance(doc, dict):
-        return f"{path}: top level is not a JSON object"
+def check_throughput(path, doc, opts):
     header = {
         "bench": "str",
         "schema_version": "int",
@@ -97,8 +130,6 @@ def check(path, doc, min_speedup):
     err = check_fields(path, doc, header)
     if err:
         return err
-    if doc["bench"] != "throughput":
-        return f"{path}: bench is '{doc['bench']}', want 'throughput'"
     if doc["schema_version"] != 1:
         return f"{path}: unknown schema_version {doc['schema_version']}"
 
@@ -130,32 +161,116 @@ def check(path, doc, min_speedup):
     err = check_fields(f"{path}: summary", summary, SUMMARY_FIELDS)
     if err:
         return err
-    if min_speedup is not None:
+    if opts["min_speedup"] is not None:
         got = summary["batched_speedup_at_32"]
-        if got < min_speedup:
+        if got < opts["min_speedup"]:
             return (
                 f"{path}: batched_speedup_at_32 is {got:.2f}, "
-                f"below required {min_speedup:.2f}"
+                f"below required {opts['min_speedup']:.2f}"
             )
     return None
+
+
+def check_serve(path, doc, opts):
+    err = check_fields(path, doc, SERVE_HEADER)
+    if err:
+        return err
+    if doc["schema_version"] != 1:
+        return f"{path}: unknown schema_version {doc['schema_version']}"
+    if doc["mode"] not in ("self", "external"):
+        return f"{path}: mode is '{doc['mode']}', want 'self' or 'external'"
+
+    # A committed or CI serve report is only valid if the run was clean:
+    # every single request answered, none failed, even across the hot swap.
+    if doc["failed_requests"] != 0:
+        return f"{path}: failed_requests is {doc['failed_requests']}, want 0"
+    if doc["ok_requests"] != doc["requests_total"]:
+        return (
+            f"{path}: ok_requests {doc['ok_requests']} != "
+            f"requests_total {doc['requests_total']}"
+        )
+    if doc["requests_total"] != doc["sessions"] * doc["rounds"]:
+        return (
+            f"{path}: requests_total {doc['requests_total']} != "
+            f"sessions*rounds {doc['sessions'] * doc['rounds']}"
+        )
+
+    latency = doc.get("latency_ms")
+    if not isinstance(latency, dict):
+        return f"{path}: latency_ms missing"
+    err = check_fields(f"{path}: latency_ms", latency, SERVE_LATENCY_FIELDS)
+    if err:
+        return err
+    if not latency["p50"] <= latency["p99"] <= latency["p999"] <= latency["max"]:
+        return f"{path}: latency percentiles are not monotone"
+    if latency["p50"] <= 0:
+        return f"{path}: latency p50 is not positive"
+
+    swap = doc.get("hot_swap")
+    if not isinstance(swap, dict):
+        return f"{path}: hot_swap missing"
+    err = check_fields(f"{path}: hot_swap", swap, SERVE_SWAP_FIELDS)
+    if err:
+        return err
+    versions = swap.get("versions_seen")
+    if not isinstance(versions, list) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in versions
+    ):
+        return f"{path}: hot_swap.versions_seen missing or not a list of ints"
+
+    if opts["min_rps"] is not None and doc["requests_per_s"] < opts["min_rps"]:
+        return (
+            f"{path}: requests_per_s is {doc['requests_per_s']:.0f}, "
+            f"below required {opts['min_rps']:.0f}"
+        )
+    if opts["require_swap"]:
+        if not (swap["enabled"] and swap["observed"]):
+            return f"{path}: hot swap not observed (enabled+observed required)"
+        if len(set(versions)) < 2:
+            return f"{path}: hot swap saw {versions}, want >= 2 versions"
+        if swap["last_version"] == swap["first_version"]:
+            return (
+                f"{path}: last served version equals the first "
+                f"(v{swap['first_version']}) — swap never took effect"
+            )
+    return None
+
+
+def summarize(doc):
+    if doc["bench"] == "throughput":
+        rows = sum(len(doc[s]) for s in ROW_SCHEMAS)
+        speedup = doc["summary"]["batched_speedup_at_32"]
+        return f"{rows} rows, batched_speedup_at_32 {speedup:.2f}x"
+    latency = doc["latency_ms"]
+    return (
+        f"{doc['sessions']} sessions, {doc['requests_per_s']:.0f} req/s, "
+        f"p50 {latency['p50']:.2f}ms p99 {latency['p99']:.2f}ms "
+        f"p99.9 {latency['p999']:.2f}ms, versions "
+        f"{doc['hot_swap']['versions_seen']}"
+    )
 
 
 def main() -> int:
     argv = sys.argv[1:]
     path = None
-    min_speedup = None
+    opts = {"min_speedup": None, "min_rps": None, "require_swap": False}
     i = 0
     while i < len(argv):
-        if argv[i] == "--min-speedup":
+        if argv[i] in ("--min-speedup", "--min-rps"):
+            key = argv[i].lstrip("-").replace("-", "_")
             if i + 1 >= len(argv):
-                print("--min-speedup needs a value", file=sys.stderr)
+                print(f"{argv[i]} needs a value", file=sys.stderr)
                 return 1
             try:
-                min_speedup = float(argv[i + 1])
+                opts[key] = float(argv[i + 1])
             except ValueError:
-                print(f"bad --min-speedup value '{argv[i + 1]}'", file=sys.stderr)
+                print(f"bad {argv[i]} value '{argv[i + 1]}'", file=sys.stderr)
                 return 1
             i += 2
+            continue
+        if argv[i] == "--require-swap":
+            opts["require_swap"] = True
+            i += 1
             continue
         if path is None:
             path = argv[i]
@@ -174,16 +289,23 @@ def main() -> int:
         print(f"{path}: {err}", file=sys.stderr)
         return 1
 
-    err = check(path, doc, min_speedup)
+    if not isinstance(doc, dict):
+        print(f"{path}: top level is not a JSON object", file=sys.stderr)
+        return 1
+    checkers = {"throughput": check_throughput, "serve": check_serve}
+    bench = doc.get("bench")
+    if bench not in checkers:
+        print(
+            f"{path}: bench is {bench!r}, want one of {sorted(checkers)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    err = checkers[bench](path, doc, opts)
     if err:
         print(err, file=sys.stderr)
         return 1
-    rows = sum(len(doc[s]) for s in ROW_SCHEMAS)
-    speedup = doc["summary"]["batched_speedup_at_32"]
-    print(
-        f"{path}: schema OK ({rows} rows, batched_speedup_at_32 "
-        f"{speedup:.2f}x)"
-    )
+    print(f"{path}: schema OK ({summarize(doc)})")
     return 0
 
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "netgym/parse.hpp"
 #include "netgym/telemetry.hpp"
 
 namespace netgym::flight {
@@ -183,11 +184,10 @@ bool install_from_env() {
   if (recorder.enabled()) return true;
   const char* path = std::getenv("GENET_FLIGHT");
   if (path == nullptr || path[0] == '\0') return false;
-  int worst_k = 8;
-  if (const char* k = std::getenv("GENET_FLIGHT_K");
-      k != nullptr && k[0] != '\0') {
-    worst_k = std::atoi(k);
-  }
+  // Strict parse: GENET_FLIGHT_K must be a positive integer or unset.
+  // Garbage, zero, or negative values used to slide through atoi and hand
+  // install() an invalid worst_k; now they throw std::invalid_argument.
+  const int worst_k = static_cast<int>(env_i64("GENET_FLIGHT_K", 8, 1, 1u << 20));
   install(path, worst_k);
   return true;
 }

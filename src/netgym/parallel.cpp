@@ -1,8 +1,8 @@
 #include "netgym/parallel.hpp"
 
-#include <cstdlib>
 #include <memory>
 
+#include "netgym/parse.hpp"
 #include "netgym/tracing.hpp"
 
 namespace netgym {
@@ -125,13 +125,16 @@ std::mutex g_pool_mu;
 std::unique_ptr<ThreadPool> g_pool;   // guarded by g_pool_mu
 int g_requested_threads = 0;          // 0 = unset, fall back to the default
 
+/// Worker-thread ceiling for the GENET_THREADS knob: far above any sane pool
+/// size, but low enough to catch a pasted timestamp or byte count.
+constexpr std::int64_t kMaxThreads = 4096;
+
 int default_thread_count() {
-  if (const char* env = std::getenv("GENET_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) return parsed;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  // Strict parse: GENET_THREADS=abc or =2x throws instead of silently
+  // falling back to hardware concurrency (the pre-strict atoi behaviour).
+  return static_cast<int>(env_i64("GENET_THREADS", hw_threads, 1, kMaxThreads));
 }
 
 /// The global pool, created on first use; call with g_pool_mu held.

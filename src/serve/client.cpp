@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace serve {
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("connect(127.0.0.1:" + std::to_string(port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("connect(" + path +
+                             ") failed: " + std::strerror(errno));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("serve::Client: server closed the connection");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_frame() {
+  for (;;) {
+    if (auto body = reader_.next()) return std::move(*body);
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("serve::Client: connection closed by server");
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+HelloResponse Client::hello() {
+  std::string out;
+  encode_hello(out);
+  send_raw(out);
+  const std::string body = read_frame();
+  if (type_of(body) == MsgType::kError) {
+    throw ProtocolError("server error: " + decode_error(body));
+  }
+  return decode_hello_ok(body);
+}
+
+ActResponse Client::act(std::uint64_t session_id, const double* obs,
+                        std::size_t n) {
+  std::string out;
+  encode_act(out, session_id, obs, n);
+  send_raw(out);
+  const std::string body = read_frame();
+  if (type_of(body) == MsgType::kError) {
+    throw ProtocolError("server error: " + decode_error(body));
+  }
+  return decode_act_ok(body);
+}
+
+void Client::close_session(std::uint64_t session_id) {
+  std::string out;
+  encode_close(out, session_id);
+  send_raw(out);
+  const std::string body = read_frame();
+  if (type_of(body) == MsgType::kError) {
+    throw ProtocolError("server error: " + decode_error(body));
+  }
+  decode_close_ok(body);
+}
+
+}  // namespace serve

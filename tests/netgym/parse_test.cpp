@@ -1,0 +1,215 @@
+// Strict integer parsing (netgym/parse.hpp): the one code path behind every
+// numeric CLI flag and env knob. The old atoi/stoi paths silently accepted
+// trailing junk ("8x" -> 8) or fell back to a default on garbage; these
+// tests pin the replacement's contract: full-string consumption, explicit
+// range checks, and loud std::invalid_argument failures that name the
+// offending knob.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "netgym/parallel.hpp"
+#include "netgym/parse.hpp"
+
+namespace {
+
+std::int64_t must_parse(const std::string& text) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(netgym::parse_i64(text, out)) << "rejected: " << text;
+  return out;
+}
+
+bool rejects(const std::string& text) {
+  std::int64_t out = 0;
+  return !netgym::parse_i64(text, out);
+}
+
+TEST(ParseI64, AcceptsPlainIntegers) {
+  EXPECT_EQ(must_parse("0"), 0);
+  EXPECT_EQ(must_parse("42"), 42);
+  EXPECT_EQ(must_parse("-17"), -17);
+  EXPECT_EQ(must_parse("+8"), 8);
+  EXPECT_EQ(must_parse("007"), 7);
+}
+
+TEST(ParseI64, AcceptsFullInt64Range) {
+  EXPECT_EQ(must_parse("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(must_parse("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseI64, RejectsEmptyAndNonNumeric) {
+  EXPECT_TRUE(rejects(""));
+  EXPECT_TRUE(rejects("garbage"));
+  EXPECT_TRUE(rejects("x12"));
+  EXPECT_TRUE(rejects("-"));
+  EXPECT_TRUE(rejects("+"));
+}
+
+TEST(ParseI64, RejectsTrailingJunk) {
+  // The defining difference from atoi: "8x" must not become 8.
+  EXPECT_TRUE(rejects("8x"));
+  EXPECT_TRUE(rejects("12 "));
+  EXPECT_TRUE(rejects(" 12"));
+  EXPECT_TRUE(rejects("1.5"));
+  EXPECT_TRUE(rejects("1e3"));
+  EXPECT_TRUE(rejects("12\n"));
+}
+
+TEST(ParseI64, RejectsOverflow) {
+  EXPECT_TRUE(rejects("9223372036854775808"));   // INT64_MAX + 1
+  EXPECT_TRUE(rejects("-9223372036854775809"));  // INT64_MIN - 1
+  EXPECT_TRUE(rejects("99999999999999999999999999"));
+}
+
+TEST(ParseI64, DoesNotTouchOutputOnFailure) {
+  std::int64_t out = 123;
+  EXPECT_FALSE(netgym::parse_i64("nope", out));
+  EXPECT_EQ(out, 123);
+}
+
+TEST(ParseI64InRange, AcceptsBoundsInclusive) {
+  EXPECT_EQ(netgym::parse_i64_in_range("--k", "1", 1, 8), 1);
+  EXPECT_EQ(netgym::parse_i64_in_range("--k", "8", 1, 8), 8);
+}
+
+TEST(ParseI64InRange, ThrowsNamingTheKnob) {
+  try {
+    netgym::parse_i64_in_range("GENET_THREADS", "lots", 1, 4096);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GENET_THREADS"), std::string::npos) << what;
+    EXPECT_NE(what.find("'lots'"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseI64InRange, ThrowsOutOfRangeWithBounds) {
+  try {
+    netgym::parse_i64_in_range("--shards", "0", 1, 256);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--shards"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  EXPECT_THROW(netgym::parse_i64_in_range("--k", "-1", 1, 8),
+               std::invalid_argument);
+  EXPECT_THROW(netgym::parse_i64_in_range("--k", "9", 1, 8),
+               std::invalid_argument);
+}
+
+/// RAII env-var override so a throwing test can't leak state into the next.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EnvI64, FallsBackWhenUnsetOrEmpty) {
+  ScopedEnv unset("GENET_PARSE_TEST_KNOB", nullptr);
+  EXPECT_EQ(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100), 7);
+  ScopedEnv empty("GENET_PARSE_TEST_KNOB", "");
+  EXPECT_EQ(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100), 7);
+}
+
+TEST(EnvI64, ParsesGoodValues) {
+  ScopedEnv env("GENET_PARSE_TEST_KNOB", "33");
+  EXPECT_EQ(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100), 33);
+}
+
+TEST(EnvI64, ThrowsOnGarbageInsteadOfFallingBack) {
+  // The bug this PR fixes: atoi("garbage") == 0 used to silently select the
+  // fallback path; now the knob fails loudly, naming itself.
+  ScopedEnv env("GENET_PARSE_TEST_KNOB", "garbage");
+  try {
+    netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("GENET_PARSE_TEST_KNOB"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EnvI64, ThrowsOnTrailingJunkZeroAndNegative) {
+  {
+    ScopedEnv env("GENET_PARSE_TEST_KNOB", "8x");
+    EXPECT_THROW(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("GENET_PARSE_TEST_KNOB", "0");
+    EXPECT_THROW(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("GENET_PARSE_TEST_KNOB", "-4");
+    EXPECT_THROW(netgym::env_i64("GENET_PARSE_TEST_KNOB", 7, 1, 100),
+                 std::invalid_argument);
+  }
+}
+
+TEST(EnvKnobs, GenetThreadsGarbageFailsLoudly) {
+  // End-to-end through the real knob: set_num_threads(0) marks the pool for
+  // a default-sized rebuild, and the rebuild (here via num_threads()) reads
+  // GENET_THREADS through the strict parser.
+  ScopedEnv env("GENET_THREADS", "garbage");
+  netgym::set_num_threads(0);
+  try {
+    netgym::num_threads();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("GENET_THREADS"), std::string::npos)
+        << e.what();
+  }
+  // Restore a sane pool for the rest of the test binary.
+  ScopedEnv sane("GENET_THREADS", nullptr);
+  netgym::set_num_threads(0);
+  EXPECT_GE(netgym::num_threads(), 1);
+}
+
+TEST(EnvKnobs, GenetThreadsZeroFailsLoudly) {
+  ScopedEnv env("GENET_THREADS", "0");
+  netgym::set_num_threads(0);
+  EXPECT_THROW(netgym::num_threads(), std::invalid_argument);
+  ScopedEnv sane("GENET_THREADS", nullptr);
+  netgym::set_num_threads(0);
+  EXPECT_GE(netgym::num_threads(), 1);
+}
+
+TEST(EnvKnobs, GenetThreadsValidValueIsUsed) {
+  ScopedEnv env("GENET_THREADS", "3");
+  netgym::set_num_threads(0);
+  EXPECT_EQ(netgym::num_threads(), 3);
+  ScopedEnv sane("GENET_THREADS", nullptr);
+  netgym::set_num_threads(0);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// Wire protocol of genet_serve (serve/frame.hpp): encode/decode roundtrips
+// for every message type and the FrameReader's incremental-reassembly
+// contract -- partial reads, torn length prefixes, several frames per read,
+// and the two unrecoverable stream states (zero-length and oversized
+// prefixes) that must throw instead of allocating or desynchronizing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+namespace {
+
+using serve::FrameReader;
+using serve::MsgType;
+using serve::ProtocolError;
+
+std::string le32(std::uint32_t v) {
+  std::string out(4, '\0');
+  std::memcpy(out.data(), &v, 4);  // test runs little-endian (x86/arm64)
+  return out;
+}
+
+TEST(Frames, ActRoundtripPreservesDoubleBits) {
+  // The protocol ships IEEE-754 bit patterns: signed zero, denormals, and
+  // values with no short decimal form must survive exactly.
+  const std::vector<double> obs = {
+      0.0, -0.0, 1.0 / 3.0, -2.25,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max()};
+  std::string buf;
+  serve::encode_act(buf, 0xdeadbeefcafe1234ull, obs.data(), obs.size());
+
+  FrameReader reader;
+  reader.feed(buf.data(), buf.size());
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(serve::type_of(*body), MsgType::kAct);
+  const serve::ActRequest req = serve::decode_act(*body);
+  EXPECT_EQ(req.session_id, 0xdeadbeefcafe1234ull);
+  ASSERT_EQ(req.obs.size(), obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&req.obs[i], &obs[i], sizeof(double)), 0)
+        << "double bits changed at index " << i;
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(Frames, ResponseRoundtrips) {
+  std::string buf;
+  serve::HelloResponse hello;
+  hello.obs_size = 10;
+  hello.action_count = 6;
+  hello.policy_version = 3;
+  serve::encode_hello_ok(buf, hello);
+  serve::ActResponse act;
+  act.session_id = 77;
+  act.action = 5;
+  act.policy_version = 3;
+  serve::encode_act_ok(buf, act);
+  serve::encode_close_ok(buf, 77);
+  serve::encode_error(buf, "observation size mismatch");
+
+  FrameReader reader;
+  reader.feed(buf.data(), buf.size());
+
+  const auto h = reader.next();
+  ASSERT_TRUE(h.has_value());
+  const serve::HelloResponse hd = serve::decode_hello_ok(*h);
+  EXPECT_EQ(hd.protocol, serve::kProtocolVersion);
+  EXPECT_EQ(hd.obs_size, 10u);
+  EXPECT_EQ(hd.action_count, 6u);
+  EXPECT_EQ(hd.policy_version, 3u);
+
+  const auto a = reader.next();
+  ASSERT_TRUE(a.has_value());
+  const serve::ActResponse ad = serve::decode_act_ok(*a);
+  EXPECT_EQ(ad.session_id, 77u);
+  EXPECT_EQ(ad.action, 5);
+  EXPECT_EQ(ad.policy_version, 3u);
+
+  const auto c = reader.next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(serve::decode_close_ok(*c), 77u);
+
+  const auto e = reader.next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(serve::type_of(*e), MsgType::kError);
+  EXPECT_EQ(serve::decode_error(*e), "observation size mismatch");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameReaderTest, ByteAtATimeFeedReassembles) {
+  // The pathological partial-read case: every recv() returns one byte.
+  const double obs[3] = {1.5, -2.5, 3.5};
+  std::string buf;
+  serve::encode_hello(buf);
+  serve::encode_act(buf, 9, obs, 3);
+  serve::encode_close(buf, 9);
+
+  FrameReader reader;
+  std::vector<std::string> frames;
+  for (const char byte : buf) {
+    reader.feed(&byte, 1);
+    while (auto body = reader.next()) frames.push_back(*body);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(serve::type_of(frames[0]), MsgType::kHello);
+  EXPECT_EQ(serve::decode_act(frames[1]).session_id, 9u);
+  EXPECT_EQ(serve::decode_close(frames[2]), 9u);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, TornLengthPrefixWaitsForMoreBytes) {
+  std::string buf;
+  serve::encode_close(buf, 4);
+  ASSERT_GT(buf.size(), 4u);
+
+  FrameReader reader;
+  // Only 2 of the 4 prefix bytes: not a frame, not an error.
+  reader.feed(buf.data(), 2);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.pending_bytes(), 2u);
+  // Rest of the prefix but no body yet: still waiting.
+  reader.feed(buf.data() + 2, 2);
+  EXPECT_FALSE(reader.next().has_value());
+  // Body arrives: the frame completes.
+  reader.feed(buf.data() + 4, buf.size() - 4);
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(serve::decode_close(*body), 4u);
+}
+
+TEST(FrameReaderTest, SeveralFramesPerFeedPlusTail) {
+  const double obs[2] = {0.25, 0.5};
+  std::string buf;
+  for (int i = 0; i < 5; ++i) {
+    serve::encode_act(buf, static_cast<std::uint64_t>(i), obs, 2);
+  }
+  std::string tail;
+  serve::encode_close(tail, 99);
+  buf += tail.substr(0, 3);  // a torn prefix after the complete frames
+
+  FrameReader reader;
+  reader.feed(buf.data(), buf.size());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto body = reader.next();
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(serve::decode_act(*body).session_id, i);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  reader.feed(tail.data() + 3, tail.size() - 3);
+  const auto last = reader.next();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(serve::decode_close(*last), 99u);
+}
+
+TEST(FrameReaderTest, ZeroLengthPrefixIsAProtocolError) {
+  FrameReader reader;
+  const std::string bad = le32(0);
+  reader.feed(bad.data(), bad.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(FrameReaderTest, OversizedPrefixThrowsWithoutAllocating) {
+  // A corrupt or malicious prefix advertising a huge body must be rejected
+  // from the 4 prefix bytes alone -- no waiting, no 4 GiB buffer.
+  FrameReader reader;
+  const std::string bad = le32(serve::kMaxFrameBytes + 1);
+  reader.feed(bad.data(), bad.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+
+  FrameReader reader2;
+  const std::string worse = le32(0xffffffffu);
+  reader2.feed(worse.data(), worse.size());
+  EXPECT_THROW(reader2.next(), ProtocolError);
+}
+
+TEST(FrameReaderTest, MaxSizeFrameIsAccepted) {
+  const std::string body(serve::kMaxFrameBytes, 'x');
+  std::string buf = le32(serve::kMaxFrameBytes) + body;
+  FrameReader reader;
+  reader.feed(buf.data(), buf.size());
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), body.size());
+}
+
+TEST(Decoders, RejectMalformedBodies) {
+  // Empty body / unknown type byte.
+  EXPECT_THROW(serve::type_of(""), ProtocolError);
+  EXPECT_THROW(serve::type_of(std::string(1, '\x55')), ProtocolError);
+
+  // A truncated act body (type + half a session id).
+  std::string truncated;
+  truncated.push_back(static_cast<char>(MsgType::kAct));
+  truncated += std::string(4, '\0');
+  EXPECT_THROW(serve::decode_act(truncated), ProtocolError);
+
+  // An act body whose observation bytes are not a multiple of 8.
+  const double obs[1] = {1.0};
+  std::string framed;
+  serve::encode_act(framed, 1, obs, 1);
+  std::string body = framed.substr(4);  // strip the length prefix
+  body.push_back('\0');                 // 9 trailing obs bytes now
+  EXPECT_THROW(serve::decode_act(body), ProtocolError);
+
+  // Trailing junk after a fixed-layout body.
+  std::string close_framed;
+  serve::encode_close(close_framed, 2);
+  std::string close_body = close_framed.substr(4);
+  close_body.push_back('\0');
+  EXPECT_THROW(serve::decode_close(close_body), ProtocolError);
+
+  // Cross-decoding: a close body through the act decoder.
+  EXPECT_THROW(serve::decode_act(close_framed.substr(4)), ProtocolError);
+}
+
+}  // namespace

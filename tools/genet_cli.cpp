@@ -6,6 +6,7 @@
 //   genet eval   --task cc  --model policy.model --trace-set cellular
 //   genet search --task abr --model policy.model --baseline mpc --trials 15
 //   genet trace  --kind abr --duration 200 --out link.trace
+//   genet export --task abr --model policy.model --out policy.ckpt
 //
 // `train` supports methods rl (traditional, Algorithm 1), genet
 // (Algorithm 2), cl1/cl2/cl3 (the alternative curricula of S5.5) and
@@ -31,11 +32,13 @@
 #include "netgym/flight.hpp"
 #include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
+#include "netgym/parse.hpp"
 #include "netgym/stats.hpp"
 #include "netgym/telemetry.hpp"
 #include "netgym/trace.hpp"
 #include "netgym/tracing.hpp"
 #include "nn/gemm.hpp"
+#include "serve/policy_store.hpp"
 #include "traces/tracesets.hpp"
 
 namespace {
@@ -60,6 +63,10 @@ commands:
           [--trials N] [--seed N]
   trace   --kind abr|cc|fcc|norway|cellular|ethernet [--duration S]
           [--max-bw MBPS] [--index N] --out FILE
+  export  --task abr|cc|lb --model FILE --out FILE.ckpt
+            convert a trained text model into the binary serve checkpoint
+            (CRC-framed, exact parameter bit patterns) that genet_serve
+            loads and hot-swaps; see DESIGN.md S5g.
 
 every command also accepts:
   --threads N     worker threads for rollouts and evaluations (default: the
@@ -154,14 +161,8 @@ std::string require(const Options& options, const std::string& key) {
 // error instead of being silently ignored).
 
 long long parse_integer(const std::string& flag, const std::string& value) {
-  std::size_t parsed = 0;
-  long long result = 0;
-  try {
-    result = std::stoll(value, &parsed);
-  } catch (const std::exception&) {
-    parsed = 0;
-  }
-  if (value.empty() || parsed != value.size()) {
+  std::int64_t result = 0;
+  if (!netgym::parse_i64(value, result)) {
     throw std::invalid_argument("--" + flag + " expects an integer, got '" +
                                 value + "'");
   }
@@ -440,6 +441,23 @@ int cmd_trace(const Options& options) {
   return 0;
 }
 
+int cmd_export(const Options& options) {
+  auto adapter = adapter_for(options);
+  const std::string model = require(options, "model");
+  const std::string out = require(options, "out");
+  const auto parent = std::filesystem::path(out).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  netgym::Rng init(0);
+  rl::TrainerOptions defaults;
+  rl::MlpPolicy policy(adapter->obs_size(), adapter->action_count(),
+                       defaults.hidden, init);
+  policy.restore(load_params(model));
+  serve::write_policy_checkpoint(policy, adapter->name(), out);
+  std::printf("exported %s policy (%zu parameters) to %s\n",
+              adapter->name().c_str(), policy.snapshot().size(), out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -505,12 +523,14 @@ int main(int argc, char** argv) {
                               : command == "eval"   ? "cmd.eval"
                               : command == "search" ? "cmd.search"
                               : command == "trace"  ? "cmd.trace"
+                              : command == "export" ? "cmd.export"
                                                     : "cmd";
       netgym::tracing::TraceSpan span(span_name, "cli");
       if (command == "train") rc = cmd_train(options);
       else if (command == "eval") rc = cmd_eval(options);
       else if (command == "search") rc = cmd_search(options);
       else if (command == "trace") rc = cmd_trace(options);
+      else if (command == "export") rc = cmd_export(options);
     }
     if (rc >= 0) {
       if (options.count("metrics-out") != 0U) {

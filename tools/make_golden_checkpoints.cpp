@@ -20,6 +20,8 @@
 #include "netgym/checkpoint.hpp"
 #include "netgym/rng.hpp"
 #include "nn/mlp.hpp"
+#include "rl/policy.hpp"
+#include "serve/policy_store.hpp"
 
 namespace {
 
@@ -88,6 +90,20 @@ void write_curriculum_golden(const std::string& dir) {
   trainer.save_checkpoint(dir + "/golden_curriculum_v1.ckpt");
 }
 
+void write_policy_goldens(const std::string& dir) {
+  // Two serve-format policy checkpoints ({10,32,32,6} topology) with distinct
+  // deterministic parameters. v1 is the daemon's startup policy in tests and
+  // the CI smoke job; v2 is dropped into the watch directory mid-load to pin
+  // the hot-swap path. mt19937_64 init makes the bytes reproducible.
+  for (std::uint32_t v = 1; v <= 2; ++v) {
+    netgym::Rng rng(v);
+    rl::MlpPolicy policy(10, 6, {32, 32}, rng);
+    serve::write_policy_checkpoint(
+        policy, "golden-serve-v" + std::to_string(v),
+        dir + "/golden_policy_v" + std::to_string(v) + ".ckpt");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +116,7 @@ int main(int argc, char** argv) {
   write_mlp_golden(dir);
   write_rng_golden(dir);
   write_curriculum_golden(dir);
+  write_policy_goldens(dir);
   std::printf("wrote golden checkpoints to %s\n", dir.c_str());
   return 0;
 }
