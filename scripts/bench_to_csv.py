@@ -11,6 +11,12 @@ can be passed instead of the text log: every top-level array-of-objects
 section becomes its own CSV (keys in first-row order), so the perf
 trajectory plots share the pipeline with the figure tables.
 
+BENCH_fleet.json nests per-scenario metric and SLO lists inside the
+"scenarios" array, which the generic flattener can't represent; fleet
+reports instead produce three CSVs — <stem>_scenarios.csv (one row per
+scenario, scalar fields only), <stem>_metrics.csv and <stem>_slos.csv
+(one row per scenario x metric/SLO, scenario name in the first column).
+
 Usage:
     python3 scripts/bench_to_csv.py [bench_output.txt | BENCH_x.json] [output_dir]
 """
@@ -135,6 +141,50 @@ def metrics_rows(block):
     return rows, rest
 
 
+def write_csv(path, columns, rows):
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(",".join(columns) + "\n")
+        for row in rows:
+            out.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+
+
+def fleet_to_csv(doc, stem, out_dir):
+    """Flatten a "bench": "fleet" report into scenario/metric/SLO CSVs.
+
+    The scenarios rows keep only scalar fields (the nested metrics/slos
+    lists would otherwise be stringified into unusable cells); the metric
+    and SLO tables get one row per scenario x entry with the scenario name
+    as the join key.
+    """
+    scenarios = doc.get("scenarios") or []
+    scenario_rows = []
+    metric_rows = []
+    slo_rows = []
+    for sc in scenarios:
+        scenario_rows.append(
+            {k: v for k, v in sc.items() if not isinstance(v, (list, dict))}
+        )
+        for m in sc.get("metrics") or []:
+            metric_rows.append({"scenario": sc.get("name", ""), **m})
+        for s in sc.get("slos") or []:
+            slo_rows.append({"scenario": sc.get("name", ""), **s})
+    count = 0
+    for section, rows in (
+        ("scenarios", scenario_rows),
+        ("metrics", metric_rows),
+        ("slos", slo_rows),
+    ):
+        if not rows:
+            continue
+        write_csv(
+            os.path.join(out_dir, f"{stem}_{section}.csv"),
+            list(rows[0].keys()),
+            rows,
+        )
+        count += 1
+    return count
+
+
 def json_sections_to_csv(src, out_dir):
     """Write one CSV per top-level list-of-objects section of a JSON report.
 
@@ -148,6 +198,8 @@ def json_sections_to_csv(src, out_dir):
         print(f"{src}: top level is not a JSON object", file=sys.stderr)
         return None
     stem = slugify(os.path.splitext(os.path.basename(src))[0])
+    if doc.get("bench") == "fleet":
+        return fleet_to_csv(doc, stem, out_dir)
     count = 0
     for section, rows in doc.items():
         if not isinstance(rows, list) or not rows:
@@ -155,11 +207,8 @@ def json_sections_to_csv(src, out_dir):
         if not all(isinstance(r, dict) for r in rows):
             continue
         columns = list(rows[0].keys())
-        path = os.path.join(out_dir, f"{stem}_{slugify(section)}.csv")
-        with open(path, "w", encoding="utf-8") as out:
-            out.write(",".join(columns) + "\n")
-            for row in rows:
-                out.write(",".join(str(row.get(c, "")) for c in columns) + "\n")
+        write_csv(os.path.join(out_dir, f"{stem}_{slugify(section)}.csv"),
+                  columns, rows)
         count += 1
     return count
 

@@ -18,9 +18,21 @@ Dispatches on the top-level "bench" field:
       the hot-swap block to show a mid-run policy version change
       (enabled, observed, >= 2 versions seen, last != first).
 
+  fleet  (bench/bench_fleet, `genet fleet --json`) — the run header, the
+      determinism block (if checked, identical must be true: the 1-vs-4
+      thread canonical digests matched byte-for-byte), and per-scenario
+      metric/SLO records. Cross-checks internal consistency: session/step
+      totals equal the per-scenario sums, percentiles are monotone
+      (min <= p50 <= p90 <= p99 <= p999 <= max), each SLO's fraction equals
+      compliant/sessions and its pass bit matches fraction vs target.
+      `--require-slo` additionally requires every scenario to carry at
+      least one SLO; `--min-sessions-per-s X` gates fleet throughput.
+
 Usage:
     python3 scripts/check_bench_json.py FILE [--min-speedup X]
                                              [--min-rps X] [--require-swap]
+                                             [--require-slo]
+                                             [--min-sessions-per-s X]
 
 Exit status 0 on success; 1 with a diagnostic on the first failure.
 Pure stdlib, no dependencies.
@@ -92,6 +104,68 @@ SERVE_SWAP_FIELDS = {
     "observed": "bool",
     "first_version": "int",
     "last_version": "int",
+}
+
+
+FLEET_HEADER = {
+    "bench": "str",
+    "schema_version": "int",
+    "quick": "bool",
+    "seed": "int",
+    "threads": "int",
+    "shards": "int",
+    "worst_k": "int",
+    "sessions_total": "int",
+    "steps_total": "int",
+    "duration_s": "num",
+    "sessions_per_s": "num",
+    "steps_per_s": "num",
+}
+
+FLEET_DETERMINISM_FIELDS = {
+    "checked": "bool",
+    "threads_a": "int",
+    "threads_b": "int",
+    "identical": "bool",
+}
+
+FLEET_SCENARIO_FIELDS = {
+    "name": "str",
+    "task": "str",
+    "space": "int",
+    "sessions": "int",
+    "steps": "int",
+    "duration_s": "num",
+    "sessions_per_s": "num",
+    "trace_set": "str",
+    "trace_prob": "num",
+    "flight_path": "str",
+    "flight_episodes": "int",
+}
+
+FLEET_METRIC_FIELDS = {
+    "name": "str",
+    "count": "int",
+    "mean": "num",
+    "min": "num",
+    "max": "num",
+    "p50": "num",
+    "p90": "num",
+    "p99": "num",
+    "p999": "num",
+    "exact": "bool",
+    "dropped": "int",
+    "saturated": "int",
+}
+
+FLEET_SLO_FIELDS = {
+    "metric": "str",
+    "op": "str",
+    "threshold": "num",
+    "target_fraction": "num",
+    "compliant": "int",
+    "fraction": "num",
+    "pass": "bool",
 }
 
 
@@ -236,11 +310,144 @@ def check_serve(path, doc, opts):
     return None
 
 
+def check_fleet(path, doc, opts):
+    err = check_fields(path, doc, FLEET_HEADER)
+    if err:
+        return err
+    if doc["schema_version"] != 1:
+        return f"{path}: unknown schema_version {doc['schema_version']}"
+
+    det = doc.get("determinism")
+    if not isinstance(det, dict):
+        return f"{path}: determinism block missing"
+    err = check_fields(f"{path}: determinism", det, FLEET_DETERMINISM_FIELDS)
+    if err:
+        return err
+    # A report whose run re-asserted determinism is only valid when the two
+    # canonical digests actually matched; an unchecked report (plain
+    # `genet fleet --json`) is allowed but can't claim identity.
+    if det["checked"] and not det["identical"]:
+        return (
+            f"{path}: determinism was checked at {det['threads_a']} vs "
+            f"{det['threads_b']} threads and the digests DIFFERED"
+        )
+
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return f"{path}: scenarios missing or empty"
+    sessions_sum = 0
+    steps_sum = 0
+    for i, sc in enumerate(scenarios):
+        where = f"{path}: scenarios[{i}]"
+        if not isinstance(sc, dict):
+            return f"{where}: not an object"
+        err = check_fields(where, sc, FLEET_SCENARIO_FIELDS)
+        if err:
+            return err
+        if sc["task"] not in ("abr", "cc", "lb"):
+            return f"{where}: unknown task '{sc['task']}'"
+        if sc["sessions"] <= 0:
+            return f"{where}: sessions is {sc['sessions']}, want > 0"
+        sessions_sum += sc["sessions"]
+        steps_sum += sc["steps"]
+
+        metrics = sc.get("metrics")
+        if not isinstance(metrics, list) or not metrics:
+            return f"{where}: metrics missing or empty"
+        for j, m in enumerate(metrics):
+            mwhere = f"{where}.metrics[{j}]"
+            if not isinstance(m, dict):
+                return f"{mwhere}: not an object"
+            err = check_fields(mwhere, m, FLEET_METRIC_FIELDS)
+            if err:
+                return err
+            if m["count"] != sc["sessions"]:
+                return (
+                    f"{mwhere}: count {m['count']} != scenario sessions "
+                    f"{sc['sessions']}"
+                )
+            if not (
+                m["min"] <= m["p50"] <= m["p90"] <= m["p99"] <= m["p999"]
+                <= m["max"]
+            ):
+                return f"{mwhere}: percentiles are not monotone"
+            if not m["min"] <= m["mean"] <= m["max"]:
+                return f"{mwhere}: mean outside [min, max]"
+
+        metric_names = {m["name"] for m in metrics}
+        slos = sc.get("slos")
+        if not isinstance(slos, list):
+            return f"{where}: slos missing (empty list allowed)"
+        if opts["require_slo"] and not slos:
+            return f"{where}: no SLOs (--require-slo)"
+        for j, slo in enumerate(slos):
+            swhere = f"{where}.slos[{j}]"
+            if not isinstance(slo, dict):
+                return f"{swhere}: not an object"
+            err = check_fields(swhere, slo, FLEET_SLO_FIELDS)
+            if err:
+                return err
+            if slo["op"] not in ("<=", ">="):
+                return f"{swhere}: op is '{slo['op']}', want '<=' or '>='"
+            if slo["metric"] not in metric_names:
+                return (
+                    f"{swhere}: SLO metric '{slo['metric']}' not in the "
+                    f"scenario's metrics {sorted(metric_names)}"
+                )
+            want_fraction = slo["compliant"] / sc["sessions"]
+            if abs(slo["fraction"] - want_fraction) > 1e-9:
+                return (
+                    f"{swhere}: fraction {slo['fraction']} != "
+                    f"compliant/sessions {want_fraction}"
+                )
+            want_pass = slo["fraction"] >= slo["target_fraction"] - 1e-12
+            if slo["pass"] != want_pass:
+                return (
+                    f"{swhere}: pass is {slo['pass']} but fraction "
+                    f"{slo['fraction']} vs target {slo['target_fraction']} "
+                    f"says {want_pass}"
+                )
+
+    if sessions_sum != doc["sessions_total"]:
+        return (
+            f"{path}: sessions_total {doc['sessions_total']} != scenario sum "
+            f"{sessions_sum}"
+        )
+    if steps_sum != doc["steps_total"]:
+        return (
+            f"{path}: steps_total {doc['steps_total']} != scenario sum "
+            f"{steps_sum}"
+        )
+    if opts["min_sessions_per_s"] is not None:
+        got = doc["sessions_per_s"]
+        if got < opts["min_sessions_per_s"]:
+            return (
+                f"{path}: sessions_per_s is {got:.0f}, below required "
+                f"{opts['min_sessions_per_s']:.0f}"
+            )
+    return None
+
+
 def summarize(doc):
     if doc["bench"] == "throughput":
         rows = sum(len(doc[s]) for s in ROW_SCHEMAS)
         speedup = doc["summary"]["batched_speedup_at_32"]
         return f"{rows} rows, batched_speedup_at_32 {speedup:.2f}x"
+    if doc["bench"] == "fleet":
+        slos = [s for sc in doc["scenarios"] for s in sc["slos"]]
+        passing = sum(1 for s in slos if s["pass"])
+        det = doc["determinism"]
+        det_note = (
+            f"determinism {det['threads_a']}v{det['threads_b']} identical"
+            if det["checked"]
+            else "determinism unchecked"
+        )
+        return (
+            f"{doc['sessions_total']} sessions over "
+            f"{len(doc['scenarios'])} scenarios, "
+            f"{doc['sessions_per_s']:.0f} sessions/s, "
+            f"SLOs {passing}/{len(slos)} passing, {det_note}"
+        )
     latency = doc["latency_ms"]
     return (
         f"{doc['sessions']} sessions, {doc['requests_per_s']:.0f} req/s, "
@@ -253,10 +460,16 @@ def summarize(doc):
 def main() -> int:
     argv = sys.argv[1:]
     path = None
-    opts = {"min_speedup": None, "min_rps": None, "require_swap": False}
+    opts = {
+        "min_speedup": None,
+        "min_rps": None,
+        "require_swap": False,
+        "require_slo": False,
+        "min_sessions_per_s": None,
+    }
     i = 0
     while i < len(argv):
-        if argv[i] in ("--min-speedup", "--min-rps"):
+        if argv[i] in ("--min-speedup", "--min-rps", "--min-sessions-per-s"):
             key = argv[i].lstrip("-").replace("-", "_")
             if i + 1 >= len(argv):
                 print(f"{argv[i]} needs a value", file=sys.stderr)
@@ -270,6 +483,10 @@ def main() -> int:
             continue
         if argv[i] == "--require-swap":
             opts["require_swap"] = True
+            i += 1
+            continue
+        if argv[i] == "--require-slo":
+            opts["require_slo"] = True
             i += 1
             continue
         if path is None:
@@ -292,7 +509,11 @@ def main() -> int:
     if not isinstance(doc, dict):
         print(f"{path}: top level is not a JSON object", file=sys.stderr)
         return 1
-    checkers = {"throughput": check_throughput, "serve": check_serve}
+    checkers = {
+        "throughput": check_throughput,
+        "serve": check_serve,
+        "fleet": check_fleet,
+    }
     bench = doc.get("bench")
     if bench not in checkers:
         print(

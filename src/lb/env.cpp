@@ -103,6 +103,7 @@ netgym::Observation LbEnv::reset() {
       "lb", {"server_backlog_s", "job_delay_s"});
   work_s_.assign(kNumServers, 0.0);
   jobs_.assign(kNumServers, 0);
+  totals_ = Totals{};
   jobs_done_ = 0;
   total_jobs_ = static_cast<int>(std::lround(config_.num_jobs));
   done_ = false;
@@ -153,7 +154,11 @@ netgym::Env::StepResult LbEnv::step(int action) {
   // env-internal tail distribution behind Fig. 17's LB panel.
   static netgym::telemetry::Histogram& slowdown =
       netgym::telemetry::Registry::instance().histogram("lb.job_slowdown");
-  slowdown.record(delay_s / std::max(processing_s, 1e-9));
+  const double job_slowdown = delay_s / std::max(processing_s, 1e-9);
+  slowdown.record(job_slowdown);
+  totals_.delay_s_sum += delay_s;
+  totals_.slowdown_sum += job_slowdown;
+  totals_.jobs += 1;
   if (flight_ != nullptr) {
     flight_->add(action, -delay_s, {waiting_s, delay_s});
   }

@@ -76,6 +76,22 @@ class LbEnv : public netgym::Env {
 
   const LbEnvConfig& config() const { return config_; }
 
+  /// Per-episode aggregates (reset() clears them), mirroring AbrEnv::Totals /
+  /// CcEnv::Totals so fleet-scale evaluation can stream one slowdown/delay
+  /// sample per session without storing per-job data.
+  struct Totals {
+    double delay_s_sum = 0.0;    ///< capped completion delays, seconds
+    double slowdown_sum = 0.0;   ///< delay over pure processing time (>= 1)
+    int jobs = 0;
+    double mean_delay_s() const {
+      return jobs > 0 ? delay_s_sum / jobs : 0.0;
+    }
+    double mean_slowdown() const {
+      return jobs > 0 ? slowdown_sum / jobs : 0.0;
+    }
+  };
+  const Totals& totals() const { return totals_; }
+
   /// True per-server state (bypasses the shuffled observation); used only by
   /// the omniscient oracle baseline and by tests.
   double true_queued_work_s(int server) const;
@@ -94,6 +110,7 @@ class LbEnv : public netgym::Env {
   double job_bytes_ = 0.0;
   int jobs_done_ = 0;
   int total_jobs_ = 0;
+  Totals totals_;
   bool done_ = true;
   std::vector<int> perm_;        // observation permutation of the last obs
   std::unique_ptr<netgym::flight::EpisodeCapture> flight_;

@@ -1,6 +1,7 @@
 #include "netgym/parse.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -46,6 +47,48 @@ std::int64_t env_i64(const char* name, std::int64_t fallback, std::int64_t lo,
   const char* text = std::getenv(name);
   if (text == nullptr || text[0] == '\0') return fallback;
   return parse_i64_in_range(name, text, lo, hi);
+}
+
+bool parse_f64(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  // strtod skips leading whitespace and accepts "inf"/"nan"; a knob value
+  // must start with a digit, sign, or decimal point.
+  const char first = text.front();
+  if (first != '+' && first != '-' && first != '.' &&
+      (first < '0' || first > '9')) {
+    return false;
+  }
+  const std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) return false;  // overflow or denormal underflow
+  if (end != buf.c_str() + buf.size()) return false;  // trailing junk / empty
+  if (!std::isfinite(value)) return false;  // "+inf", "-nan", ...
+  out = value;
+  return true;
+}
+
+double parse_f64_in_range(const char* what, std::string_view text, double lo,
+                          double hi) {
+  double value = 0.0;
+  if (!parse_f64(text, value)) {
+    throw std::invalid_argument(std::string(what) + ": expected a number, got '" +
+                                std::string(text) + "'");
+  }
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(std::string(what) + ": value " +
+                                std::to_string(value) + " out of range [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                "]");
+  }
+  return value;
+}
+
+double env_f64(const char* name, double fallback, double lo, double hi) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return fallback;
+  return parse_f64_in_range(name, text, lo, hi);
 }
 
 }  // namespace netgym

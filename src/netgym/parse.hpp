@@ -33,4 +33,20 @@ std::int64_t parse_i64_in_range(const char* what, std::string_view text,
 std::int64_t env_i64(const char* name, std::int64_t fallback, std::int64_t lo,
                      std::int64_t hi);
 
+/// Parse `text` as a finite double, requiring the whole string to be
+/// consumed (mirrors parse_i64: no leading whitespace, trailing junk is an
+/// error). Overflow/underflow (ERANGE) and non-finite results ("inf", "nan")
+/// are errors; `out` is untouched on failure.
+bool parse_f64(std::string_view text, double& out);
+
+/// Parse `text` into [lo, hi], throwing std::invalid_argument naming `what`
+/// on garbage or out-of-range values (float analogue of parse_i64_in_range).
+double parse_f64_in_range(const char* what, std::string_view text, double lo,
+                          double hi);
+
+/// Read environment variable `name` as a double in [lo, hi]. Unset or empty
+/// returns `fallback`; anything else must strict-parse into range or this
+/// throws std::invalid_argument naming the variable.
+double env_f64(const char* name, double fallback, double lo, double hi);
+
 }  // namespace netgym

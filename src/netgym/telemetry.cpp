@@ -131,7 +131,10 @@ double Histogram::bucket_rep(int index) {
 }
 
 void Histogram::record(double v) {
-  if (!std::isfinite(v)) return;
+  if (!std::isfinite(v)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto slot =
       static_cast<std::uint64_t>(n_.fetch_add(1, std::memory_order_relaxed));
   if (slot < kExactCap) exact_[slot].store(v, std::memory_order_relaxed);
@@ -141,16 +144,66 @@ void Histogram::record(double v) {
   const double abs_v = std::fabs(v);
   if (abs_v < kMinAbs) {
     zero_.fetch_add(1, std::memory_order_relaxed);
-  } else if (v > 0.0) {
-    pos_[bucket_index(abs_v)].fetch_add(1, std::memory_order_relaxed);
   } else {
-    neg_[bucket_index(abs_v)].fetch_add(1, std::memory_order_relaxed);
+    // log2(abs_v) - log2(kMinAbs), not log2(abs_v / kMinAbs): the quotient
+    // overflows to inf for abs_v near DBL_MAX, which would turn the int cast
+    // into UB and file the sample under bucket 0 instead of the saturated
+    // tail.
+    const int raw = static_cast<int>(
+        std::floor((std::log2(abs_v) - std::log2(kMinAbs)) * kSubBuckets));
+    if (raw >= kBucketsPerSign) {
+      saturated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const int idx = std::clamp(raw, 0, kBucketsPerSign - 1);
+    (v > 0.0 ? pos_ : neg_)[idx].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Serial-section operation (see header): plain relaxed loads/stores are
+  // enough, and doing the adds in the caller's merge order keeps float sums
+  // bit-identical across thread counts.
+  dropped_.fetch_add(other.dropped_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  saturated_.fetch_add(other.saturated_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  const std::int64_t add = other.n_.load(std::memory_order_relaxed);
+  if (add <= 0) return;
+  const std::int64_t self_n = n_.load(std::memory_order_relaxed);
+  // Append other's exact samples while slots remain. If the merged count ends
+  // up within kExactCap, both inputs were fully exact, so the union is the
+  // complete sample set; past the cap snapshot() switches to buckets anyway.
+  const std::int64_t take =
+      std::min(add, static_cast<std::int64_t>(kExactCap));
+  for (std::int64_t i = 0; i < take; ++i) {
+    const std::int64_t dst = self_n + i;
+    if (dst >= static_cast<std::int64_t>(kExactCap)) break;
+    exact_[dst].store(other.exact_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  n_.store(self_n + add, std::memory_order_relaxed);
+  sum_.store(sum_.load(std::memory_order_relaxed) +
+                 other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  atomic_update_extreme(min_, other.min_.load(std::memory_order_relaxed),
+                        std::less<double>());
+  atomic_update_extreme(max_, other.max_.load(std::memory_order_relaxed),
+                        std::greater<double>());
+  zero_.fetch_add(other.zero_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  for (int i = 0; i < kBucketsPerSign; ++i) {
+    pos_[i].fetch_add(other.pos_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    neg_[i].fetch_add(other.neg_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   }
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.count = n_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.saturated = saturated_.load(std::memory_order_relaxed);
   if (s.count <= 0) return s;
   s.sum = sum_.load(std::memory_order_relaxed);
   s.min = min_.load(std::memory_order_relaxed);
@@ -164,6 +217,7 @@ Histogram::Snapshot Histogram::snapshot() const {
     s.p50 = percentile_sorted(xs, 50.0);
     s.p90 = percentile_sorted(xs, 90.0);
     s.p99 = percentile_sorted(xs, 99.0);
+    s.p999 = percentile_sorted(xs, 99.9);
     s.exact = true;
     return s;
   }
@@ -202,6 +256,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.p50 = estimate(50.0);
   s.p90 = estimate(90.0);
   s.p99 = estimate(99.0);
+  s.p999 = estimate(99.9);
   return s;
 }
 
@@ -213,6 +268,8 @@ void Histogram::reset() {
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   zero_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  saturated_.store(0, std::memory_order_relaxed);
   for (int i = 0; i < kBucketsPerSign; ++i) {
     pos_[i].store(0, std::memory_order_relaxed);
     neg_[i].store(0, std::memory_order_relaxed);

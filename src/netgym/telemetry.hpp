@@ -127,9 +127,16 @@ class ScopedTimer {
 ///    the cap. Bucket counts are order-independent sums, so estimates are
 ///    deterministic at any thread count too.
 ///
-/// Non-finite samples are ignored. Magnitudes below 1e-9 share the zero
-/// bucket; magnitudes above ~1.8e10 saturate into the top bucket (exact
+/// Non-finite samples are dropped (and counted in `Snapshot::dropped`).
+/// Magnitudes below 1e-9 share the zero bucket; magnitudes above ~1.8e10
+/// saturate into the top bucket (counted in `Snapshot::saturated`; exact
 /// min/max are still tracked separately via CAS).
+///
+/// Error bound past the cap: a bucket spans a 2^(1/kSubBuckets) magnitude
+/// ratio and reports its geometric midpoint, so any estimated percentile is
+/// within a factor of 2^(1/(2*kSubBuckets)) of the true sample — with
+/// kSubBuckets = 4 that is a max relative error of 2^(1/8) - 1 ~= 9.05%.
+/// Within the exact cap percentiles are exact (0% error).
 class Histogram {
  public:
   Histogram();
@@ -144,12 +151,28 @@ class Histogram {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
     bool exact = true;  ///< percentiles from exact samples, not bucket interp
+    std::int64_t dropped = 0;    ///< non-finite samples rejected by record()
+    std::int64_t saturated = 0;  ///< samples clamped into the top log bucket
   };
 
   /// Call from serial sections (after parallel work has joined) for a
   /// consistent view; see the determinism note at the top of this header.
   Snapshot snapshot() const;
+
+  /// Fold `other`'s samples into this histogram: counts, sums, extremes,
+  /// bucket counts, and drop/saturation counters all add; as many of
+  /// `other`'s exact samples as still fit below kExactCap are appended, so a
+  /// merge whose combined count stays within the cap yields percentiles
+  /// identical to recording the same samples into a single histogram (the
+  /// snapshot sorts, so shard order does not matter below the cap). Past the
+  /// cap the merged log buckets give the same <=9% bounded estimates as a
+  /// single stream. Serial-section only: neither histogram may be receiving
+  /// concurrent record() calls. Merging shard-local histograms in a fixed
+  /// shard order makes every Snapshot field — including the float `sum` —
+  /// bit-identical at any thread count (the fleet simulator relies on this).
+  void merge(const Histogram& other);
 
   void reset();
 
@@ -171,6 +194,8 @@ class Histogram {
   std::atomic<double> min_;
   std::atomic<double> max_;
   std::atomic<std::int64_t> zero_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> saturated_{0};
   std::unique_ptr<std::atomic<std::int64_t>[]> pos_;
   std::unique_ptr<std::atomic<std::int64_t>[]> neg_;
   std::unique_ptr<std::atomic<double>[]> exact_;

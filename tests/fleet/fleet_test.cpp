@@ -1,0 +1,261 @@
+// Fleet simulator (DESIGN.md S5h): the determinism contract (bit-identical
+// results at any thread count), SLO accounting, the default scenario mixes,
+// up-front validation, and the committed worst-k flight fixture.
+
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/report.hpp"
+#include "netgym/parallel.hpp"
+#include "netgym/rng.hpp"
+#include "rl/policy.hpp"
+
+namespace {
+
+rl::MlpPolicy test_policy(const std::string& task, std::uint64_t seed = 11) {
+  netgym::Rng rng(seed);
+  rl::MlpPolicy policy(fleet::task_obs_size(task),
+                       fleet::task_action_count(task), {16, 16}, rng);
+  policy.set_greedy(true);
+  return policy;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Restore the default-sized pool no matter how a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { netgym::set_num_threads(0); }
+};
+
+TEST(FleetMeta, MetricNamesAndShapesPerTask) {
+  EXPECT_EQ(fleet::metric_names("abr"),
+            (std::vector<std::string>{"episode_reward", "rebuffer_s",
+                                      "bitrate_mbps"}));
+  EXPECT_EQ(fleet::metric_names("cc"),
+            (std::vector<std::string>{"episode_reward", "queue_delay_s",
+                                      "throughput_mbps"}));
+  EXPECT_EQ(fleet::metric_names("lb"),
+            (std::vector<std::string>{"episode_reward", "job_slowdown",
+                                      "job_delay_s"}));
+  EXPECT_THROW(fleet::metric_names("dns"), std::invalid_argument);
+  EXPECT_GT(fleet::task_obs_size("abr"), 0);
+  EXPECT_GT(fleet::task_action_count("cc"), 0);
+  EXPECT_THROW(fleet::task_obs_size("dns"), std::invalid_argument);
+}
+
+TEST(FleetMeta, SloOpNames) {
+  EXPECT_STREQ(fleet::slo_op_name(fleet::SloOp::kAtMost), "<=");
+  EXPECT_STREQ(fleet::slo_op_name(fleet::SloOp::kAtLeast), ">=");
+}
+
+TEST(FleetMeta, DefaultScenariosSplitEverySession) {
+  for (const char* task : {"abr", "cc", "lb"}) {
+    const auto scenarios = fleet::default_scenarios(task, 10'000, 0.5);
+    ASSERT_GE(scenarios.size(), 2u) << task;
+    std::int64_t total = 0;
+    for (const auto& sc : scenarios) {
+      EXPECT_EQ(sc.task, task);
+      EXPECT_GT(sc.sessions, 0) << sc.name;
+      EXPECT_FALSE(sc.slos.empty()) << sc.name;
+      EXPECT_FALSE(sc.devices.empty()) << sc.name;
+      total += sc.sessions;
+    }
+    EXPECT_EQ(total, 10'000) << task;
+  }
+  EXPECT_THROW(fleet::default_scenarios("dns", 100, 0.5),
+               std::invalid_argument);
+}
+
+TEST(FleetRun, BitIdenticalDigestAcrossThreadCounts) {
+  // The tentpole contract: fixed shard partition + serial RNG forks +
+  // fixed-size lockstep groups + shard-ordered histogram merge make every
+  // output float independent of the pool size. The pool here is
+  // oversubscribed (the CI box may have a single core) which also shakes
+  // out schedule dependence.
+  ThreadGuard guard;
+  const rl::MlpPolicy policy = test_policy("lb");
+  const auto scenarios = fleet::default_scenarios("lb", 400, 0.0);
+  fleet::FleetOptions opts;
+  opts.seed = 5;
+  opts.shards = 16;
+  opts.out_dir = "";  // flight capture off: pure compute path
+  std::string digests[2];
+  const int threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    netgym::set_num_threads(threads[i]);
+    digests[i] = fleet::canonical_digest(run_fleet(policy, scenarios, opts));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_NE(digests[0].find("fleet-digest v1"), std::string::npos);
+}
+
+TEST(FleetRun, ShardCountIsPartOfTheContractNotATuningKnob) {
+  // Different shard counts legitimately produce different streams; the
+  // digest must change, proving shards are pinned inputs rather than an
+  // invisible implementation detail.
+  const rl::MlpPolicy policy = test_policy("lb");
+  const auto scenarios = fleet::default_scenarios("lb", 200, 0.0);
+  fleet::FleetOptions a;
+  a.seed = 5;
+  a.shards = 8;
+  fleet::FleetOptions b = a;
+  b.shards = 32;
+  EXPECT_NE(fleet::canonical_digest(run_fleet(policy, scenarios, a)),
+            fleet::canonical_digest(run_fleet(policy, scenarios, b)));
+}
+
+TEST(FleetRun, SloAccountingMatchesHistogramPopulation) {
+  const rl::MlpPolicy policy = test_policy("lb");
+  fleet::Scenario sc;
+  sc.name = "slo_math";
+  sc.task = "lb";
+  sc.sessions = 300;
+  sc.max_steps = 64;
+  // One SLO that everything satisfies, one that nothing can.
+  sc.slos.push_back({"job_slowdown", fleet::SloOp::kAtMost, 1e12, 0.5});
+  sc.slos.push_back({"job_slowdown", fleet::SloOp::kAtLeast, 1e12, 0.5});
+  const fleet::FleetResult result =
+      fleet::run_fleet(policy, {sc}, fleet::FleetOptions{});
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  const auto& got = result.scenarios[0];
+  EXPECT_EQ(got.sessions, 300);
+  ASSERT_EQ(got.slos.size(), 2u);
+  EXPECT_EQ(got.slos[0].compliant, 300);
+  EXPECT_DOUBLE_EQ(got.slos[0].fraction, 1.0);
+  EXPECT_TRUE(got.slos[0].pass);
+  EXPECT_EQ(got.slos[1].compliant, 0);
+  EXPECT_DOUBLE_EQ(got.slos[1].fraction, 0.0);
+  EXPECT_FALSE(got.slos[1].pass);
+  // Histogram population equals the session count for every metric.
+  ASSERT_EQ(got.metrics.size(), 3u);
+  for (const auto& m : got.metrics) {
+    EXPECT_EQ(m.stats.count, 300) << m.name;
+    EXPECT_LE(m.stats.p50, m.stats.p99) << m.name;
+    EXPECT_LE(m.stats.p99, m.stats.p999) << m.name;
+    EXPECT_LE(m.stats.p999, m.stats.max) << m.name;
+  }
+  EXPECT_EQ(result.sessions, 300);
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(FleetRun, ValidatesEverythingUpFront) {
+  const rl::MlpPolicy lb_policy = test_policy("lb");
+  const fleet::FleetOptions opts;
+
+  fleet::Scenario sc;
+  sc.name = "bad";
+  sc.task = "lb";
+  sc.sessions = 10;
+
+  {  // policy shape vs task
+    fleet::Scenario s = sc;
+    s.task = "abr";
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // lb has no recorded traces
+    fleet::Scenario s = sc;
+    s.use_traces = true;
+    s.trace_prob = 0.5;
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // an ABR trace set cannot drive a CC scenario
+    fleet::Scenario s = sc;
+    s.task = "cc";
+    s.use_traces = true;
+    s.trace_prob = 0.5;
+    s.trace_set = traces::TraceSet::kFcc;
+    const rl::MlpPolicy cc_policy = test_policy("cc");
+    EXPECT_THROW(fleet::run_fleet(cc_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // device dim typo
+    fleet::Scenario s = sc;
+    s.devices.push_back({"phone", 1.0, {{"no_such_dim", 0.5}}});
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts), std::exception);
+  }
+  {  // device scale must be positive
+    fleet::Scenario s = sc;
+    s.devices.push_back({"phone", 1.0, {{"service_rate", -1.0}}});
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // SLO on an unknown metric
+    fleet::Scenario s = sc;
+    s.slos.push_back({"rebuffer_s", fleet::SloOp::kAtMost, 1.0, 0.9});
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // trace_prob out of range
+    fleet::Scenario s = sc;
+    s.trace_prob = 1.5;
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  {  // no sessions
+    fleet::Scenario s = sc;
+    s.sessions = 0;
+    EXPECT_THROW(fleet::run_fleet(lb_policy, {s}, opts),
+                 std::invalid_argument);
+  }
+  EXPECT_THROW(fleet::run_fleet(lb_policy, {}, opts), std::invalid_argument);
+}
+
+TEST(FleetFixture, RegeneratedWorstKMatchesCommittedBytes) {
+  // write_regression_fixture replays the pinned 96-session ABR fleet and
+  // dumps its worst-4 flight recordings; the committed copy under
+  // tests/data/ pins the whole sampling -> device skew -> trace mix ->
+  // lockstep replay -> flight capture pipeline. A mismatch means fleet
+  // behavior changed: regenerate deliberately with tools/make_fleet_fixtures
+  // and review the diff.
+  const std::string dir = ::testing::TempDir() + "fleet_fixture";
+  const std::string fresh = fleet::write_regression_fixture(dir);
+  const std::string committed =
+      std::string(GENET_TEST_DATA_DIR) + "/worst_fixture_abr.jsonl";
+  const std::string fresh_bytes = read_file(fresh);
+  ASSERT_FALSE(fresh_bytes.empty());
+  EXPECT_EQ(fresh_bytes, read_file(committed));
+}
+
+TEST(FleetReport, JsonAndSummaryRenderEveryScenario) {
+  const rl::MlpPolicy policy = test_policy("lb");
+  const auto scenarios = fleet::default_scenarios("lb", 200, 0.0);
+  fleet::FleetOptions opts;
+  opts.seed = 9;
+  const fleet::FleetResult result = run_fleet(policy, scenarios, opts);
+
+  const std::string summary = fleet::format_fleet_summary(result);
+  for (const auto& sc : result.scenarios) {
+    EXPECT_NE(summary.find("[" + sc.name + "]"), std::string::npos);
+  }
+  EXPECT_NE(summary.find("SLO"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "fleet_report_test.json";
+  fleet::BenchInfo info;
+  info.determinism_checked = true;
+  info.determinism_identical = true;
+  fleet::write_fleet_json(path, result, info);
+  const std::string json = read_file(path);
+  EXPECT_NE(json.find("\"bench\": \"fleet\""), std::string::npos);
+  EXPECT_NE(json.find("\"determinism\""), std::string::npos);
+  for (const auto& sc : result.scenarios) {
+    EXPECT_NE(json.find("\"" + sc.name + "\""), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -204,6 +204,135 @@ TEST(EnvKnobs, GenetThreadsZeroFailsLoudly) {
   EXPECT_GE(netgym::num_threads(), 1);
 }
 
+double must_parse_f64(const std::string& text) {
+  double out = 0.0;
+  EXPECT_TRUE(netgym::parse_f64(text, out)) << "rejected: " << text;
+  return out;
+}
+
+bool rejects_f64(const std::string& text) {
+  double out = 0.0;
+  return !netgym::parse_f64(text, out);
+}
+
+TEST(ParseF64, AcceptsPlainAndScientificNumbers) {
+  EXPECT_DOUBLE_EQ(must_parse_f64("0"), 0.0);
+  EXPECT_DOUBLE_EQ(must_parse_f64("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(must_parse_f64(".5"), 0.5);
+  EXPECT_DOUBLE_EQ(must_parse_f64("-2.25"), -2.25);
+  EXPECT_DOUBLE_EQ(must_parse_f64("+3"), 3.0);
+  EXPECT_DOUBLE_EQ(must_parse_f64("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(must_parse_f64("2.5e-2"), 0.025);
+}
+
+TEST(ParseF64, RejectsEmptyAndNonNumeric) {
+  EXPECT_TRUE(rejects_f64(""));
+  EXPECT_TRUE(rejects_f64("garbage"));
+  EXPECT_TRUE(rejects_f64("x0.5"));
+  EXPECT_TRUE(rejects_f64("-"));
+  EXPECT_TRUE(rejects_f64("+"));
+  EXPECT_TRUE(rejects_f64("."));
+}
+
+TEST(ParseF64, RejectsStrtodSpecials) {
+  // strtod happily parses these; a config knob must not.
+  EXPECT_TRUE(rejects_f64("nan"));
+  EXPECT_TRUE(rejects_f64("inf"));
+  EXPECT_TRUE(rejects_f64("infinity"));
+  EXPECT_TRUE(rejects_f64("+inf"));
+  EXPECT_TRUE(rejects_f64("-nan"));
+}
+
+TEST(ParseF64, RejectsTrailingJunkAndWhitespace) {
+  // The defining difference from atof: "0.5x" must not become 0.5.
+  EXPECT_TRUE(rejects_f64("0.5x"));
+  EXPECT_TRUE(rejects_f64("1.5 "));
+  EXPECT_TRUE(rejects_f64(" 1.5"));
+  EXPECT_TRUE(rejects_f64("1.5\n"));
+  EXPECT_TRUE(rejects_f64("1..5"));
+}
+
+TEST(ParseF64, RejectsOverflow) {
+  EXPECT_TRUE(rejects_f64("1e999"));
+  EXPECT_TRUE(rejects_f64("-1e999"));
+}
+
+TEST(ParseF64, DoesNotTouchOutputOnFailure) {
+  double out = 1.25;
+  EXPECT_FALSE(netgym::parse_f64("nope", out));
+  EXPECT_DOUBLE_EQ(out, 1.25);
+}
+
+TEST(ParseF64InRange, AcceptsBoundsInclusive) {
+  EXPECT_DOUBLE_EQ(netgym::parse_f64_in_range("--p", "0", 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(netgym::parse_f64_in_range("--p", "1", 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(netgym::parse_f64_in_range("--p", "0.75", 0.0, 1.0), 0.75);
+}
+
+TEST(ParseF64InRange, ThrowsNamingTheKnob) {
+  try {
+    netgym::parse_f64_in_range("GENET_FLEET_TRACE_PROB", "fast", 0.0, 1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GENET_FLEET_TRACE_PROB"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected a number"), std::string::npos) << what;
+    EXPECT_NE(what.find("'fast'"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseF64InRange, ThrowsOutOfRangeWithBounds) {
+  try {
+    netgym::parse_f64_in_range("--trace-prob", "1.5", 0.0, 1.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--trace-prob"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  EXPECT_THROW(netgym::parse_f64_in_range("--p", "-0.01", 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EnvF64, FallsBackWhenUnsetOrEmpty) {
+  ScopedEnv unset("GENET_PARSE_TEST_FKNOB", nullptr);
+  EXPECT_DOUBLE_EQ(netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0),
+                   0.5);
+  ScopedEnv empty("GENET_PARSE_TEST_FKNOB", "");
+  EXPECT_DOUBLE_EQ(netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0),
+                   0.5);
+}
+
+TEST(EnvF64, ParsesGoodValues) {
+  ScopedEnv env("GENET_PARSE_TEST_FKNOB", "0.125");
+  EXPECT_DOUBLE_EQ(netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0),
+                   0.125);
+}
+
+TEST(EnvF64, ThrowsOnGarbageAndOutOfRangeInsteadOfFallingBack) {
+  {
+    ScopedEnv env("GENET_PARSE_TEST_FKNOB", "garbage");
+    try {
+      netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("GENET_PARSE_TEST_FKNOB"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    ScopedEnv env("GENET_PARSE_TEST_FKNOB", "0.5x");
+    EXPECT_THROW(netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0),
+                 std::invalid_argument);
+  }
+  {
+    ScopedEnv env("GENET_PARSE_TEST_FKNOB", "1.5");
+    EXPECT_THROW(netgym::env_f64("GENET_PARSE_TEST_FKNOB", 0.5, 0.0, 1.0),
+                 std::invalid_argument);
+  }
+}
+
 TEST(EnvKnobs, GenetThreadsValidValueIsUsed) {
   ScopedEnv env("GENET_THREADS", "3");
   netgym::set_num_threads(0);

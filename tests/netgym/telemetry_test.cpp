@@ -205,6 +205,97 @@ TEST(Histogram, ConcurrentRecordingMatchesSerialSnapshot) {
   EXPECT_EQ(a.p99, b.p99);
 }
 
+TEST(Histogram, MergeMatchesSingleStreamBelowTheExactCap) {
+  // The fleet determinism contract rests on this: shard-local histograms
+  // merged in shard order must be indistinguishable from one histogram that
+  // saw every sample. Integer-valued samples keep the float sums exact, so
+  // the comparison can demand bitwise equality.
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& merged = reg.histogram("hist.merge.a");
+  tel::Histogram& other = reg.histogram("hist.merge.b");
+  tel::Histogram& single = reg.histogram("hist.merge.single");
+  for (int i = 1; i <= 100; ++i) {
+    (i % 2 == 0 ? merged : other).record(i);
+    single.record(i);
+  }
+  merged.merge(other);
+  const auto a = merged.snapshot();
+  const auto b = single.snapshot();
+  EXPECT_EQ(a.count, 100);
+  EXPECT_TRUE(a.exact);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.p999, b.p999);
+}
+
+TEST(Histogram, MergeOfEmptyIsANoOp) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& h = reg.histogram("hist.merge.noop");
+  tel::Histogram& empty = reg.histogram("hist.merge.empty");
+  h.record(3.0);
+  h.merge(empty);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_DOUBLE_EQ(snap.p50, 3.0);
+
+  empty.merge(h);  // merging INTO an empty histogram adopts the samples
+  const auto adopted = empty.snapshot();
+  EXPECT_EQ(adopted.count, 1);
+  EXPECT_DOUBLE_EQ(adopted.p50, 3.0);
+}
+
+TEST(Histogram, MergedPercentilesPastTheCapStayWithinRelativeError) {
+  // Two shards of 3000 samples merge past the 4096-sample exact cap; the
+  // snapshot must fall back to the log buckets and stay inside the
+  // documented <= 9.05% relative error bound (DESIGN.md S5h).
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& lo = reg.histogram("hist.merge.lo");
+  tel::Histogram& hi = reg.histogram("hist.merge.hi");
+  const int n = 6000;
+  for (int i = 1; i <= n; ++i) (i <= n / 2 ? lo : hi).record(i);
+  lo.merge(hi);
+  const auto snap = lo.snapshot();
+  EXPECT_EQ(snap.count, n);
+  EXPECT_FALSE(snap.exact);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, n);
+  EXPECT_DOUBLE_EQ(snap.sum, n * (n + 1.0) / 2.0);
+  EXPECT_NEAR(snap.p50, 0.5 * n, 0.0905 * n);
+  EXPECT_NEAR(snap.p90, 0.9 * n, 0.0905 * n);
+  EXPECT_NEAR(snap.p99, 0.99 * n, 0.0905 * n);
+  EXPECT_NEAR(snap.p999, 0.999 * n, 0.0905 * n);
+  EXPECT_LE(snap.p999, snap.max);
+}
+
+TEST(Histogram, MergeAccumulatesDroppedAndSaturatedCounts) {
+  tel::Registry& reg = tel::Registry::instance();
+  reg.reset_all();
+  tel::Histogram& a = reg.histogram("hist.merge.drop.a");
+  tel::Histogram& b = reg.histogram("hist.merge.drop.b");
+  a.record(std::nan(""));
+  a.record(std::numeric_limits<double>::infinity());
+  b.record(-std::numeric_limits<double>::infinity());
+  a.record(1.0);
+  // Finite but beyond the bucket range (kMinAbs * 2^64): recorded exactly
+  // while under the cap but counted as tail-saturated for the bucket path.
+  a.record(1e300);
+  b.record(-1e300);
+  a.merge(b);
+  const auto snap = a.snapshot();
+  EXPECT_EQ(snap.count, 3);  // 1.0, 1e300, -1e300
+  EXPECT_EQ(snap.dropped, 3);
+  EXPECT_EQ(snap.saturated, 2);
+  EXPECT_DOUBLE_EQ(snap.max, 1e300);
+  EXPECT_DOUBLE_EQ(snap.min, -1e300);
+}
+
 TEST(Histogram, ResetZeroesWithoutInvalidatingReferences) {
   tel::Registry& reg = tel::Registry::instance();
   reg.reset_all();

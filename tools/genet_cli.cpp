@@ -26,6 +26,8 @@
 
 #include <filesystem>
 
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "netgym/checkpoint.hpp"
@@ -67,6 +69,21 @@ commands:
             convert a trained text model into the binary serve checkpoint
             (CRC-framed, exact parameter bit patterns) that genet_serve
             loads and hot-swaps; see DESIGN.md S5g.
+  fleet   --task abr|cc|lb (--model FILE | --checkpoint FILE.ckpt)
+          [--sessions N] [--trace-prob P] [--seed N] [--shards N]
+          [--worst-k N] [--out-dir DIR] [--json FILE] [--digest FILE]
+          [--slo-strict]
+            replay the policy over N heterogeneous sessions (default
+            100000) split across the task's default scenario mix (synthetic
+            + recorded-trace scenarios, device diversity, online SLOs),
+            streaming population percentiles through merged histograms;
+            see DESIGN.md S5h. --trace-prob (default 0.5, also the
+            GENET_FLEET_TRACE_PROB env var) sets the recorded-trace share
+            of trace-backed scenarios. --out-dir enables per-scenario
+            worst-k flight dumps; --json writes BENCH_fleet-schema JSON
+            (render with scripts/slo_report.py); --digest writes the
+            canonical determinism digest (byte-identical at any thread
+            count); --slo-strict exits nonzero when any SLO fails.
 
 every command also accepts:
   --threads N     worker threads for rollouts and evaluations (default: the
@@ -133,7 +150,7 @@ Options parse(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage("expected --option");
     const std::string key = argv[i] + 2;
-    if (key == "resume" || key == "health-fail-fast") {
+    if (key == "resume" || key == "health-fail-fast" || key == "slo-strict") {
       options[key] = "1";  // boolean flags: take no value
       continue;
     }
@@ -170,14 +187,8 @@ long long parse_integer(const std::string& flag, const std::string& value) {
 }
 
 double parse_number(const std::string& flag, const std::string& value) {
-  std::size_t parsed = 0;
   double result = 0.0;
-  try {
-    result = std::stod(value, &parsed);
-  } catch (const std::exception&) {
-    parsed = 0;
-  }
-  if (value.empty() || parsed != value.size()) {
+  if (!netgym::parse_f64(value, result)) {
     throw std::invalid_argument("--" + flag + " expects a number, got '" +
                                 value + "'");
   }
@@ -458,6 +469,77 @@ int cmd_export(const Options& options) {
   return 0;
 }
 
+int cmd_fleet(const Options& options) {
+  const std::string task = require(options, "task");
+  fleet::metric_names(task);  // validates the task name before heavy setup
+
+  std::unique_ptr<rl::MlpPolicy> policy;
+  if (options.count("checkpoint") != 0U) {
+    const serve::PolicyVersion version =
+        serve::load_policy_checkpoint(options.at("checkpoint"));
+    if (!version.task.empty() && version.task != task) {
+      throw std::invalid_argument("checkpoint was exported for task '" +
+                                  version.task + "', not '" + task + "'");
+    }
+    policy = version.instantiate();
+  } else {
+    const std::string model = require(options, "model");
+    netgym::Rng init(0);
+    rl::TrainerOptions defaults;
+    policy = std::make_unique<rl::MlpPolicy>(fleet::task_obs_size(task),
+                                             fleet::task_action_count(task),
+                                             defaults.hidden, init);
+    policy->restore(load_params(model));
+  }
+  policy->set_greedy(true);
+
+  const long long sessions =
+      options.count("sessions") != 0U
+          ? parse_integer("sessions", options.at("sessions"))
+          : 100000;
+  // Float knob with the strict-parse contract: the env var configures fleet
+  // jobs globally, the flag overrides per run; garbage in either fails
+  // loudly naming the knob (pinned by ctest).
+  double trace_prob = netgym::env_f64("GENET_FLEET_TRACE_PROB", 0.5, 0.0, 1.0);
+  if (options.count("trace-prob") != 0U) {
+    trace_prob = netgym::parse_f64_in_range("--trace-prob",
+                                            options.at("trace-prob"), 0.0, 1.0);
+  }
+
+  fleet::FleetOptions fopts;
+  fopts.seed = get_seed(options);
+  fopts.shards = get_int(options, "shards", 256);
+  fopts.worst_k = get_int(options, "worst-k", 8);
+  fopts.out_dir = get(options, "out-dir", "");
+
+  const auto scenarios = fleet::default_scenarios(task, sessions, trace_prob);
+  const fleet::FleetResult result =
+      fleet::run_fleet(*policy, scenarios, fopts);
+  std::fputs(fleet::format_fleet_summary(result).c_str(), stdout);
+
+  if (options.count("json") != 0U) {
+    fleet::BenchInfo info;  // no determinism re-assertion in a single run
+    fleet::write_fleet_json(options.at("json"), result, info);
+    std::printf("wrote %s\n", options.at("json").c_str());
+  }
+  if (options.count("digest") != 0U) {
+    const std::string& path = options.at("digest");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << fleet::canonical_digest(result);
+  }
+  int failed_slos = 0;
+  for (const auto& sc : result.scenarios) {
+    for (const auto& slo : sc.slos) {
+      if (!slo.pass) ++failed_slos;
+    }
+  }
+  if (failed_slos > 0) {
+    std::printf("%d SLO(s) failing\n", failed_slos);
+  }
+  return options.count("slo-strict") != 0U && failed_slos > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -524,6 +606,7 @@ int main(int argc, char** argv) {
                               : command == "search" ? "cmd.search"
                               : command == "trace"  ? "cmd.trace"
                               : command == "export" ? "cmd.export"
+                              : command == "fleet"  ? "cmd.fleet"
                                                     : "cmd";
       netgym::tracing::TraceSpan span(span_name, "cli");
       if (command == "train") rc = cmd_train(options);
@@ -531,6 +614,7 @@ int main(int argc, char** argv) {
       else if (command == "search") rc = cmd_search(options);
       else if (command == "trace") rc = cmd_trace(options);
       else if (command == "export") rc = cmd_export(options);
+      else if (command == "fleet") rc = cmd_fleet(options);
     }
     if (rc >= 0) {
       if (options.count("metrics-out") != 0U) {
