@@ -83,6 +83,22 @@ std::vector<double> traditional_params(genet::ModelZoo& zoo,
   const std::string key = task + "-rl" + std::to_string(space) + "-seed" +
                           std::to_string(seed) + "-it" +
                           std::to_string(iterations);
+  // Spec-describable trainings (synthetic-only adapters) go through the
+  // batch path so a dist::Coordinator's train-model hook can ship them to
+  // worker processes; results are bit-identical either way because the
+  // worker rebuilds the same adapter from the spec and runs the same
+  // train_traditional. Checkpoint-dir resume stays local: mid-training
+  // snapshots are a coordinator-side feature the workers don't have.
+  if (!zoo.contains(key) && g_checkpoint_dir.empty() &&
+      !adapter.dist_spec().empty()) {
+    genet::ModelZoo::TrainSpec spec;
+    spec.key = key;
+    spec.adapter_spec = adapter.dist_spec();
+    spec.iterations = iterations;
+    spec.seed = seed;
+    std::fprintf(stderr, "[train] %s ...\n", key.c_str());
+    return zoo.get_or_train_batch({spec}).front();
+  }
   return zoo.get_or_train(key, [&] {
     std::fprintf(stderr, "[train] %s ...\n", key.c_str());
     const std::string ckpt = checkpoint_path_for(key);

@@ -1,0 +1,173 @@
+#include "dist/protocol.hpp"
+
+#include "netgym/checkpoint.hpp"
+
+namespace dist {
+
+namespace {
+
+namespace ckpt = netgym::checkpoint;
+
+void append_snapshot_frame(std::string& out, serve::MsgType type,
+                           const ckpt::Snapshot& snap) {
+  serve::encode_payload_frame(out, type, ckpt::encode_file_bytes(snap),
+                              serve::kMaxDistFrameBytes);
+}
+
+ckpt::Snapshot snapshot_of(std::string_view body, serve::MsgType type,
+                           const char* what) {
+  return ckpt::decode_file_bytes(serve::payload_of(body, type),
+                                 std::string("dist ") + what + " frame");
+}
+
+std::string stream_key(std::size_t i) { return "stream/" + std::to_string(i); }
+
+}  // namespace
+
+void encode_hello(std::string& out, const Hello& msg) {
+  ckpt::Snapshot snap;
+  snap.put_i64("version", msg.version);
+  snap.put_string("math_mode", msg.math_mode);
+  snap.put_i64("threads", msg.threads);
+  append_snapshot_frame(out, serve::MsgType::kDistHello, snap);
+}
+
+Hello decode_hello(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistHello, "hello");
+  Hello msg;
+  msg.version = snap.get_i64("version");
+  msg.math_mode = snap.get_string("math_mode");
+  msg.threads = snap.get_i64("threads");
+  return msg;
+}
+
+void encode_hello_ok(std::string& out, const HelloOk& msg) {
+  ckpt::Snapshot snap;
+  snap.put_i64("version", msg.version);
+  snap.put_i64("pid", msg.pid);
+  append_snapshot_frame(out, serve::MsgType::kDistHelloOk, snap);
+}
+
+HelloOk decode_hello_ok(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistHelloOk, "hello_ok");
+  HelloOk msg;
+  msg.version = snap.get_i64("version");
+  msg.pid = snap.get_i64("pid");
+  return msg;
+}
+
+void encode_eval_setup(std::string& out, const EvalSetup& msg) {
+  ckpt::Snapshot snap;
+  snap.put_u64("eval_id", msg.eval_id);
+  snap.put_string("adapter_spec", msg.adapter_spec);
+  snap.put_string("kind", msg.kind);
+  snap.put_string("baseline", msg.baseline);
+  snap.put_doubles("config", msg.config);
+  snap.put_doubles("policy_params", msg.policy_params);
+  snap.put_i64("greedy", msg.greedy);
+  append_snapshot_frame(out, serve::MsgType::kDistEval, snap);
+}
+
+EvalSetup decode_eval_setup(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistEval, "eval_setup");
+  EvalSetup msg;
+  msg.eval_id = snap.get_u64("eval_id");
+  msg.adapter_spec = snap.get_string("adapter_spec");
+  msg.kind = snap.get_string("kind");
+  msg.baseline = snap.get_string("baseline");
+  msg.config = snap.get_doubles("config");
+  msg.policy_params = snap.get_doubles("policy_params");
+  msg.greedy = snap.get_i64("greedy");
+  return msg;
+}
+
+void encode_items_request(std::string& out, const ItemsRequest& msg) {
+  ckpt::Snapshot snap;
+  snap.put_u64("eval_id", msg.eval_id);
+  snap.put_i64("first", msg.first);
+  snap.put_i64("count", static_cast<std::int64_t>(msg.streams.size()));
+  for (std::size_t i = 0; i < msg.streams.size(); ++i) {
+    snap.put_string(stream_key(i), msg.streams[i]);
+  }
+  append_snapshot_frame(out, serve::MsgType::kDistItems, snap);
+}
+
+ItemsRequest decode_items_request(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistItems, "items_request");
+  ItemsRequest msg;
+  msg.eval_id = snap.get_u64("eval_id");
+  msg.first = snap.get_i64("first");
+  const std::int64_t count = snap.get_i64("count");
+  msg.streams.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    msg.streams.push_back(
+        snap.get_string(stream_key(static_cast<std::size_t>(i))));
+  }
+  return msg;
+}
+
+void encode_items_result(std::string& out, const ItemsResult& msg) {
+  ckpt::Snapshot snap;
+  snap.put_u64("eval_id", msg.eval_id);
+  snap.put_i64("first", msg.first);
+  snap.put_doubles("values", msg.values);
+  append_snapshot_frame(out, serve::MsgType::kDistItemsOk, snap);
+}
+
+ItemsResult decode_items_result(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistItemsOk, "items_result");
+  ItemsResult msg;
+  msg.eval_id = snap.get_u64("eval_id");
+  msg.first = snap.get_i64("first");
+  msg.values = snap.get_doubles("values");
+  return msg;
+}
+
+void encode_train_request(std::string& out, const TrainRequest& msg) {
+  ckpt::Snapshot snap;
+  snap.put_u64("train_id", msg.train_id);
+  snap.put_string("adapter_spec", msg.adapter_spec);
+  snap.put_i64("iterations", msg.iterations);
+  snap.put_u64("seed", msg.seed);
+  append_snapshot_frame(out, serve::MsgType::kDistTrain, snap);
+}
+
+TrainRequest decode_train_request(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistTrain, "train_request");
+  TrainRequest msg;
+  msg.train_id = snap.get_u64("train_id");
+  msg.adapter_spec = snap.get_string("adapter_spec");
+  msg.iterations = snap.get_i64("iterations");
+  msg.seed = snap.get_u64("seed");
+  return msg;
+}
+
+void encode_train_result(std::string& out, const TrainResult& msg) {
+  ckpt::Snapshot snap;
+  snap.put_u64("train_id", msg.train_id);
+  snap.put_doubles("params", msg.params);
+  append_snapshot_frame(out, serve::MsgType::kDistTrainOk, snap);
+}
+
+TrainResult decode_train_result(std::string_view body) {
+  const ckpt::Snapshot snap =
+      snapshot_of(body, serve::MsgType::kDistTrainOk, "train_result");
+  TrainResult msg;
+  msg.train_id = snap.get_u64("train_id");
+  msg.params = snap.get_doubles("params");
+  return msg;
+}
+
+void encode_shutdown(std::string& out) {
+  ckpt::Snapshot snap;
+  snap.put_i64("version", kDistProtocolVersion);
+  append_snapshot_frame(out, serve::MsgType::kDistShutdown, snap);
+}
+
+}  // namespace dist

@@ -1,0 +1,166 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "dist/protocol.hpp"
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/config.hpp"
+#include "netgym/parallel.hpp"
+#include "netgym/rng.hpp"
+#include "nn/gemm.hpp"
+#include "rl/policy.hpp"
+#include "rl/trainer.hpp"
+#include "serve/frame.hpp"
+
+namespace dist {
+
+namespace {
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("dist worker: write failed: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Worker-side state of the current evaluation: the reconstructed adapter
+/// and policy an ItemsRequest runs against.
+struct EvalState {
+  std::uint64_t eval_id = 0;
+  bool active = false;
+  EvalSetup setup;
+  std::unique_ptr<genet::TaskAdapter> adapter;
+  std::unique_ptr<rl::MlpPolicy> policy;
+};
+
+void apply_eval_setup(EvalState& state, EvalSetup setup) {
+  state.adapter = genet::make_adapter_from_spec(setup.adapter_spec);
+  // Reconstruct the coordinator's MlpPolicy: shape from the adapter, the
+  // default hidden layout every task trainer uses, parameters from the wire.
+  netgym::Rng init_rng(0);
+  auto policy = std::make_unique<rl::MlpPolicy>(
+      state.adapter->obs_size(), state.adapter->action_count(),
+      rl::TrainerOptions{}.hidden, init_rng);
+  policy->restore(setup.policy_params);
+  policy->set_greedy(setup.greedy != 0);
+  state.policy = std::move(policy);
+  state.eval_id = setup.eval_id;
+  state.setup = std::move(setup);
+  state.active = true;
+}
+
+ItemsResult run_items(EvalState& state, const ItemsRequest& request) {
+  if (!state.active || request.eval_id != state.eval_id) {
+    throw std::runtime_error(
+        "dist worker: items request for eval " +
+        std::to_string(request.eval_id) + " but current setup is " +
+        (state.active ? std::to_string(state.eval_id) : "absent"));
+  }
+  netgym::Config config;
+  config.values = state.setup.config;
+  ItemsResult result;
+  result.eval_id = request.eval_id;
+  result.first = request.first;
+  result.values.reserve(request.streams.size());
+  for (const std::string& stream : request.streams) {
+    netgym::Rng item_rng;
+    item_rng.set_state(stream);
+    result.values.push_back(genet::eval_gap_item(
+        *state.adapter, *state.policy, state.setup.kind, state.setup.baseline,
+        config, item_rng));
+  }
+  return result;
+}
+
+TrainResult run_train(const TrainRequest& request) {
+  genet::TrainModelRequest model_request;
+  model_request.adapter_spec = request.adapter_spec;
+  model_request.iterations = static_cast<int>(request.iterations);
+  model_request.seed = request.seed;
+  TrainResult result;
+  result.train_id = request.train_id;
+  result.params = genet::train_model_for_request(model_request);
+  return result;
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  try {
+    serve::FrameReader reader(serve::kMaxDistFrameBytes);
+    EvalState state;
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("dist worker: read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) return 0;  // coordinator closed the socket; exit quietly
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (const auto body = reader.next()) {
+        std::string out;
+        switch (serve::type_of(*body)) {
+          case serve::MsgType::kDistHello: {
+            const Hello hello = decode_hello(*body);
+            if (hello.version != kDistProtocolVersion) {
+              throw std::runtime_error(
+                  "dist worker: protocol version mismatch: coordinator " +
+                  std::to_string(hello.version) + ", worker " +
+                  std::to_string(kDistProtocolVersion));
+            }
+            nn::set_math_mode(nn::parse_math_mode(hello.math_mode));
+            netgym::set_num_threads(static_cast<int>(hello.threads));
+            HelloOk ok;
+            ok.pid = static_cast<std::int64_t>(::getpid());
+            encode_hello_ok(out, ok);
+            break;
+          }
+          case serve::MsgType::kDistEval:
+            apply_eval_setup(state, decode_eval_setup(*body));
+            break;
+          case serve::MsgType::kDistItems:
+            encode_items_result(out, run_items(state,
+                                               decode_items_request(*body)));
+            break;
+          case serve::MsgType::kDistTrain:
+            encode_train_result(out, run_train(decode_train_request(*body)));
+            break;
+          case serve::MsgType::kDistShutdown:
+            return 0;
+          default:
+            throw std::runtime_error("dist worker: unexpected message type");
+        }
+        if (!out.empty()) write_all(fd, out);
+      }
+    }
+  } catch (const std::exception& e) {
+    // Best effort: tell the coordinator why before dying, so a request
+    // error surfaces as a loud failure instead of a silent reassign loop.
+    try {
+      std::string out;
+      serve::encode_error(out, e.what());
+      write_all(fd, out);
+    } catch (...) {
+    }
+    return 1;
+  }
+}
+
+}  // namespace dist

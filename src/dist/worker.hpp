@@ -1,0 +1,18 @@
+#pragma once
+
+namespace dist {
+
+/// Serve loop of one fork/exec'd evaluation worker (DESIGN.md S5i): read
+/// frames from `fd` (one end of the coordinator's socketpair), answer
+/// gap-eval items and train-from-spec requests, exit on shutdown or EOF.
+/// Any error is reported back as a serve kError frame before exiting with a
+/// nonzero code; the coordinator treats it as fatal (a bad request fails on
+/// every worker, so retrying elsewhere cannot help).
+///
+/// Run via the hidden `genet dist-worker --dist-fd N` subcommand, which
+/// calls this before any env-driven telemetry/thread setup -- workers must
+/// not inherit GENET_LOG/GENET_THREADS side effects; the coordinator pins
+/// math mode and thread count explicitly in its hello frame.
+int worker_main(int fd);
+
+}  // namespace dist

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 
 #include "abr/baselines.hpp"
@@ -162,7 +163,99 @@ std::vector<double> batched_map(
   return values;
 }
 
+GapEvalHook g_gap_eval_hook;
+
+/// Route a gap evaluation through the distributed hook when the whole
+/// computation is reconstructible worker-side; nullopt keeps the in-process
+/// path. The item streams are forked here -- serially, in index order, the
+/// same pre-fork the in-process paths do -- BEFORE anything ships, so the
+/// hook's values depend only on the stream states and the request content:
+/// worker count, assignment order, and worker death cannot change them.
+std::optional<std::vector<double>> dist_gap_eval(
+    const TaskAdapter& task, netgym::Policy& policy, const char* kind,
+    const std::string& baseline, const netgym::Config& config, int n,
+    netgym::Rng& rng) {
+  if (!g_gap_eval_hook) return std::nullopt;
+  const auto* mlp = dynamic_cast<const rl::MlpPolicy*>(&policy);
+  if (mlp == nullptr) return std::nullopt;
+  GapEvalRequest req;
+  req.adapter_spec = task.dist_spec();
+  if (req.adapter_spec.empty()) return std::nullopt;
+  req.kind = kind;
+  req.baseline = baseline;
+  req.config = config.values;
+  req.policy_params = mlp->snapshot();
+  req.greedy = mlp->greedy();
+  req.stream_states.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) req.stream_states.push_back(rng.fork().state());
+  std::vector<double> values = g_gap_eval_hook(req);
+  if (values.size() != static_cast<std::size_t>(n)) {
+    throw std::runtime_error("gap eval hook returned " +
+                             std::to_string(values.size()) + " values for " +
+                             std::to_string(n) + " items");
+  }
+  return values;
+}
+
 }  // namespace
+
+void set_gap_eval_hook(GapEvalHook hook) {
+  g_gap_eval_hook = std::move(hook);
+}
+
+bool gap_eval_hook_installed() {
+  return static_cast<bool>(g_gap_eval_hook);
+}
+
+double eval_gap_item(const TaskAdapter& task, netgym::Policy& policy,
+                     const std::string& kind, const std::string& baseline,
+                     const netgym::Config& config, netgym::Rng& item_rng) {
+  // Both policies see the same environment instance (fresh copy each); the
+  // draw order -- env fork, RL episode, then reference episode, all on the
+  // item's stream -- must stay identical to the lockstep plan/finish split
+  // in gap_to_baseline/gap_to_optimum above.
+  netgym::Rng env_rng = item_rng.fork();
+  netgym::Rng env_rng2 = env_rng;
+  if (kind == "baseline") {
+    auto env_rl = task.make_env(config, env_rng);
+    auto env_rule = task.make_env(config, env_rng2);
+    auto rule = task.make_baseline(baseline, *env_rule);
+    const double r_rl =
+        netgym::run_episode(*env_rl, policy, item_rng).mean_reward;
+    const double r_rule =
+        netgym::run_episode(*env_rule, *rule, item_rng).mean_reward;
+    return r_rule - r_rl;
+  }
+  if (kind == "optimum") {
+    auto env_rl = task.make_env(config, env_rng);
+    auto env_opt = task.make_env(config, env_rng2);
+    const double r_rl =
+        netgym::run_episode(*env_rl, policy, item_rng).mean_reward;
+    const double r_opt = task.optimal_mean_reward(*env_opt, item_rng);
+    return r_opt - r_rl;
+  }
+  throw std::invalid_argument("eval_gap_item: unknown kind '" + kind + "'");
+}
+
+std::unique_ptr<TaskAdapter> make_adapter_from_spec(const std::string& spec) {
+  const std::size_t slash = spec.find('/');
+  if (slash != std::string::npos && slash + 1 < spec.size()) {
+    const std::string name = spec.substr(0, slash);
+    const std::string id_text = spec.substr(slash + 1);
+    bool digits = true;
+    for (char c : id_text) digits = digits && c >= '0' && c <= '9';
+    if (digits && id_text.size() <= 2) {
+      const int space_id = std::stoi(id_text);
+      if (space_id >= 1 && space_id <= 3) {
+        if (name == "abr") return std::make_unique<AbrAdapter>(space_id);
+        if (name == "cc") return std::make_unique<CcAdapter>(space_id);
+        if (name == "lb") return std::make_unique<LbAdapter>(space_id);
+      }
+    }
+  }
+  throw std::invalid_argument("make_adapter_from_spec: unrecognized spec '" +
+                              spec + "'");
+}
 
 std::unique_ptr<netgym::Env> TaskAdapter::make_env_from_trace(
     const netgym::Trace&, netgym::Rng&) const {
@@ -248,6 +341,10 @@ double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
                        const netgym::Config& config, int n,
                        netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_baseline: n must be > 0");
+  if (const auto distributed = dist_gap_eval(task, rl_policy, "baseline",
+                                             baseline_name, config, n, rng)) {
+    return mean_of(*distributed);
+  }
   return mean_of(batched_map(
       n, rng, rl_policy,
       [&](std::size_t, netgym::Rng& item_rng) {
@@ -269,24 +366,18 @@ double gap_to_baseline(const TaskAdapter& task, netgym::Policy& rl_policy,
       },
       [&](std::size_t, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
-        netgym::Rng env_rng = item_rng.fork();
-        netgym::Rng env_rng2 = env_rng;
-        auto env_rl = task.make_env(config, env_rng);
-        auto env_rule = task.make_env(config, env_rng2);
-        auto baseline = task.make_baseline(baseline_name, *env_rule);
-        const double r_rl =
-            netgym::run_episode(*env_rl, local_policy(local, rl_policy),
-                                item_rng)
-                .mean_reward;
-        const double r_rule =
-            netgym::run_episode(*env_rule, *baseline, item_rng).mean_reward;
-        return r_rule - r_rl;
+        return eval_gap_item(task, local_policy(local, rl_policy), "baseline",
+                             baseline_name, config, item_rng);
       }));
 }
 
 double gap_to_optimum(const TaskAdapter& task, netgym::Policy& rl_policy,
                       const netgym::Config& config, int n, netgym::Rng& rng) {
   if (n <= 0) throw std::invalid_argument("gap_to_optimum: n must be > 0");
+  if (const auto distributed =
+          dist_gap_eval(task, rl_policy, "optimum", "", config, n, rng)) {
+    return mean_of(*distributed);
+  }
   return mean_of(batched_map(
       n, rng, rl_policy,
       [&](std::size_t, netgym::Rng& item_rng) {
@@ -302,16 +393,8 @@ double gap_to_optimum(const TaskAdapter& task, netgym::Policy& rl_policy,
       },
       [&](std::size_t, netgym::Rng& item_rng) {
         const std::unique_ptr<netgym::Policy> local = rl_policy.clone();
-        netgym::Rng env_rng = item_rng.fork();
-        netgym::Rng env_rng2 = env_rng;
-        auto env_rl = task.make_env(config, env_rng);
-        auto env_opt = task.make_env(config, env_rng2);
-        const double r_rl =
-            netgym::run_episode(*env_rl, local_policy(local, rl_policy),
-                                item_rng)
-                .mean_reward;
-        const double r_opt = task.optimal_mean_reward(*env_opt, item_rng);
-        return r_opt - r_rl;
+        return eval_gap_item(task, local_policy(local, rl_policy), "optimum",
+                             "", config, item_rng);
       }));
 }
 
@@ -347,7 +430,15 @@ double gap_between(const TaskAdapter& task, netgym::Policy& policy,
 // ---------------------------------------------------------------------------
 
 AbrAdapter::AbrAdapter(int space_id, TraceMixOptions traces)
-    : space_(abr::abr_config_space(space_id)), traces_(std::move(traces)) {}
+    : space_(abr::abr_config_space(space_id)),
+      traces_(std::move(traces)),
+      space_id_(space_id) {}
+
+std::string AbrAdapter::dist_spec() const {
+  // A loaded trace corpus cannot travel in a short spec; keep those local.
+  if (!traces_.corpus.empty()) return "";
+  return "abr/" + std::to_string(space_id_);
+}
 
 int AbrAdapter::obs_size() const { return abr::AbrEnv::kObsSize; }
 int AbrAdapter::action_count() const { return abr::kBitrateCount; }
@@ -416,7 +507,13 @@ CcAdapter::CcAdapter(int space_id, TraceMixOptions traces,
                      bool use_packet_sim)
     : space_(cc::cc_config_space(space_id)),
       traces_(std::move(traces)),
-      use_packet_sim_(use_packet_sim) {}
+      use_packet_sim_(use_packet_sim),
+      space_id_(space_id) {}
+
+std::string CcAdapter::dist_spec() const {
+  if (!traces_.corpus.empty() || use_packet_sim_) return "";
+  return "cc/" + std::to_string(space_id_);
+}
 
 int CcAdapter::obs_size() const { return cc::CcEnv::kObsSize; }
 int CcAdapter::action_count() const { return cc::kRateActionCount; }
@@ -499,7 +596,12 @@ std::unique_ptr<rl::ActorCriticBase> CcAdapter::make_trainer(
 // LB
 // ---------------------------------------------------------------------------
 
-LbAdapter::LbAdapter(int space_id) : space_(lb::lb_config_space(space_id)) {}
+LbAdapter::LbAdapter(int space_id)
+    : space_(lb::lb_config_space(space_id)), space_id_(space_id) {}
+
+std::string LbAdapter::dist_spec() const {
+  return "lb/" + std::to_string(space_id_);
+}
 
 int LbAdapter::obs_size() const { return lb::LbEnv::kObsSize; }
 int LbAdapter::action_count() const { return lb::kNumServers; }

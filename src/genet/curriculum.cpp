@@ -418,4 +418,29 @@ std::unique_ptr<rl::ActorCriticBase> train_traditional(
   return trainer;
 }
 
+namespace {
+TrainModelHook g_train_model_hook;
+}  // namespace
+
+void set_train_model_hook(TrainModelHook hook) {
+  g_train_model_hook = std::move(hook);
+}
+
+bool train_model_hook_installed() {
+  return static_cast<bool>(g_train_model_hook);
+}
+
+std::vector<std::vector<double>> run_train_model_hook(
+    const std::vector<TrainModelRequest>& requests) {
+  return g_train_model_hook(requests);
+}
+
+std::vector<double> train_model_for_request(const TrainModelRequest& request) {
+  const std::unique_ptr<TaskAdapter> task =
+      make_adapter_from_spec(request.adapter_spec);
+  return train_traditional(*task, request.iterations, request.seed)
+      ->policy()
+      .snapshot();
+}
+
 }  // namespace genet

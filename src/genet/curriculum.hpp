@@ -261,4 +261,37 @@ std::unique_ptr<rl::ActorCriticBase> train_traditional(
     const TaskAdapter& task, const netgym::ConfigDistribution& dist,
     int iterations, std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Distributed baseline-training hook (DESIGN.md S5i)
+// ---------------------------------------------------------------------------
+
+/// Declarative form of one traditional-RL training run. The adapter spec,
+/// iteration count, and seed fully determine the resulting parameters
+/// (training is single-process deterministic and thread-count invariant),
+/// so a worker process can recompute them anywhere.
+struct TrainModelRequest {
+  std::string adapter_spec;  ///< TaskAdapter::dist_spec()
+  int iterations = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Parameter snapshots in request order; implementations throw on failure.
+using TrainModelHook = std::function<std::vector<std::vector<double>>(
+    const std::vector<TrainModelRequest>&)>;
+
+/// Install (nullptr: remove) the process-wide distributed training hook;
+/// ModelZoo::get_or_train_batch routes its cache misses through it.
+/// dist::Coordinator::install_hooks is the only production caller.
+void set_train_model_hook(TrainModelHook hook);
+bool train_model_hook_installed();
+
+/// Invoke the installed hook (precondition: train_model_hook_installed()).
+std::vector<std::vector<double>> run_train_model_hook(
+    const std::vector<TrainModelRequest>& requests);
+
+/// Local / worker-side implementation of one request: rebuild the adapter
+/// from its spec, run train_traditional, snapshot the trained policy. The
+/// hook path and the local fallback both land here, so they cannot drift.
+std::vector<double> train_model_for_request(const TrainModelRequest& request);
+
 }  // namespace genet

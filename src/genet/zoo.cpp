@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "genet/curriculum.hpp"
+
 namespace genet {
 
 namespace {
@@ -71,6 +73,44 @@ std::vector<double> ModelZoo::get_or_train(
   std::vector<double> params = train();
   put(key, params);
   return params;
+}
+
+std::vector<std::vector<double>> ModelZoo::get_or_train_batch(
+    const std::vector<TrainSpec>& specs) {
+  std::vector<std::vector<double>> results(specs.size());
+  std::vector<std::size_t> misses;
+  std::vector<TrainModelRequest> requests;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (contains(specs[i].key)) {
+      results[i] = get(specs[i].key);
+    } else {
+      misses.push_back(i);
+      requests.push_back(TrainModelRequest{specs[i].adapter_spec,
+                                           specs[i].iterations,
+                                           specs[i].seed});
+    }
+  }
+  if (misses.empty()) return results;
+  std::vector<std::vector<double>> trained;
+  if (train_model_hook_installed()) {
+    trained = run_train_model_hook(requests);
+    if (trained.size() != requests.size()) {
+      throw std::runtime_error("ModelZoo: train hook returned " +
+                               std::to_string(trained.size()) +
+                               " results for " +
+                               std::to_string(requests.size()) + " requests");
+    }
+  } else {
+    trained.reserve(requests.size());
+    for (const TrainModelRequest& request : requests) {
+      trained.push_back(train_model_for_request(request));
+    }
+  }
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    put(specs[misses[j]].key, trained[j]);
+    results[misses[j]] = std::move(trained[j]);
+  }
+  return results;
 }
 
 }  // namespace genet

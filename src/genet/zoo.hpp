@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -23,6 +24,25 @@ class ModelZoo {
   std::vector<double> get_or_train(
       const std::string& key,
       const std::function<std::vector<double>()>& train);
+
+  /// One spec-describable traditional-RL training: the cache key plus the
+  /// declarative inputs (TaskAdapter::dist_spec(), iterations, seed) that
+  /// fully determine the trained parameters.
+  struct TrainSpec {
+    std::string key;
+    std::string adapter_spec;
+    int iterations = 0;
+    std::uint64_t seed = 1;
+  };
+
+  /// Batch form of get_or_train for spec-describable trainings: cached keys
+  /// load from disk; the misses train -- through the distributed worker pool
+  /// when a train-model hook is installed (genet::set_train_model_hook),
+  /// in-process otherwise -- and are cached. Results are in spec order and
+  /// identical either way, because workers and the local path share
+  /// train_model_for_request.
+  std::vector<std::vector<double>> get_or_train_batch(
+      const std::vector<TrainSpec>& specs);
 
   bool contains(const std::string& key) const;
   void put(const std::string& key, const std::vector<double>& params);

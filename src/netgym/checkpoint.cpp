@@ -408,11 +408,7 @@ Snapshot Snapshot::decode(std::string_view payload) {
   return snap;
 }
 
-void write_file(const Snapshot& snap, const std::string& path) {
-  netgym::tracing::TraceSpan span("checkpoint.save", "checkpoint");
-  namespace tel = netgym::telemetry;
-  tel::ScopedTimer timing(tel::Registry::instance().timer("checkpoint.save"));
-
+std::string encode_file_bytes(const Snapshot& snap) {
   const std::string payload = snap.encode();
   std::string contents;
   contents.reserve(payload.size() + 64);
@@ -430,6 +426,78 @@ void write_file(const Snapshot& snap, const std::string& path) {
   }
   contents += '\n';
   contents += payload;
+  return contents;
+}
+
+Snapshot decode_file_bytes(std::string_view bytes, const std::string& what) {
+  // Header line 1: magic + version.
+  std::size_t eol = bytes.find('\n');
+  if (eol == std::string_view::npos) {
+    throw CheckpointError("checkpoint: " + what + " is truncated (no header)");
+  }
+  {
+    std::istringstream header{std::string(bytes.substr(0, eol))};
+    std::string magic;
+    int version = -1;
+    if (!(header >> magic >> version) || magic != kMagic) {
+      throw CheckpointError("checkpoint: " + what +
+                            " is not a checkpoint file");
+    }
+    if (version < 1 || version > kFormatVersion) {
+      throw CheckpointError("checkpoint: " + what + " has schema version " +
+                            std::to_string(version) +
+                            "; this build supports up to " +
+                            std::to_string(kFormatVersion));
+    }
+  }
+
+  // Header line 2: payload length + CRC.
+  const std::size_t line2_start = eol + 1;
+  eol = bytes.find('\n', line2_start);
+  if (eol == std::string_view::npos) {
+    throw CheckpointError("checkpoint: " + what +
+                          " is truncated (no payload header)");
+  }
+  std::uint64_t expected_bytes = 0;
+  std::uint32_t expected_crc = 0;
+  {
+    std::istringstream header{
+        std::string(bytes.substr(line2_start, eol - line2_start))};
+    std::string payload_word, crc_word, crc_hex;
+    if (!(header >> payload_word >> expected_bytes >> crc_word >> crc_hex) ||
+        payload_word != "payload" || crc_word != "crc32" ||
+        crc_hex.size() != 8) {
+      throw CheckpointError("checkpoint: " + what +
+                            " has a malformed payload header");
+    }
+    expected_crc =
+        static_cast<std::uint32_t>(parse_hex_u64("00000000" + crc_hex, what));
+  }
+
+  const std::string_view payload = bytes.substr(eol + 1);
+  if (payload.size() != expected_bytes) {
+    throw CheckpointError(
+        "checkpoint: " + what + " is truncated or padded: header claims " +
+        std::to_string(expected_bytes) + " payload bytes, file has " +
+        std::to_string(payload.size()));
+  }
+  const std::uint32_t actual_crc = crc32(payload);
+  if (actual_crc != expected_crc) {
+    char actual_hex[9];
+    std::snprintf(actual_hex, sizeof actual_hex, "%08x", actual_crc);
+    throw CheckpointError("checkpoint: " + what +
+                          " is corrupt: CRC mismatch (payload " + actual_hex +
+                          ")");
+  }
+  return Snapshot::decode(payload);
+}
+
+void write_file(const Snapshot& snap, const std::string& path) {
+  netgym::tracing::TraceSpan span("checkpoint.save", "checkpoint");
+  namespace tel = netgym::telemetry;
+  tel::ScopedTimer timing(tel::Registry::instance().timer("checkpoint.save"));
+
+  const std::string contents = encode_file_bytes(snap);
 
   const std::string tmp = path + ".tmp";
   {
@@ -487,68 +555,7 @@ Snapshot read_file(const std::string& path) {
   buffer << in.rdbuf();
   const std::string contents = buffer.str();
 
-  // Header line 1: magic + version.
-  std::size_t eol = contents.find('\n');
-  if (eol == std::string::npos) {
-    throw CheckpointError("checkpoint: '" + path + "' is truncated (no header)");
-  }
-  {
-    std::istringstream header(contents.substr(0, eol));
-    std::string magic;
-    int version = -1;
-    if (!(header >> magic >> version) || magic != kMagic) {
-      throw CheckpointError("checkpoint: '" + path +
-                            "' is not a checkpoint file");
-    }
-    if (version < 1 || version > kFormatVersion) {
-      throw CheckpointError("checkpoint: '" + path + "' has schema version " +
-                            std::to_string(version) +
-                            "; this build supports up to " +
-                            std::to_string(kFormatVersion));
-    }
-  }
-
-  // Header line 2: payload length + CRC.
-  const std::size_t line2_start = eol + 1;
-  eol = contents.find('\n', line2_start);
-  if (eol == std::string::npos) {
-    throw CheckpointError("checkpoint: '" + path +
-                          "' is truncated (no payload header)");
-  }
-  std::uint64_t expected_bytes = 0;
-  std::uint32_t expected_crc = 0;
-  {
-    std::istringstream header(
-        contents.substr(line2_start, eol - line2_start));
-    std::string payload_word, crc_word, crc_hex;
-    if (!(header >> payload_word >> expected_bytes >> crc_word >> crc_hex) ||
-        payload_word != "payload" || crc_word != "crc32" ||
-        crc_hex.size() != 8) {
-      throw CheckpointError("checkpoint: '" + path +
-                            "' has a malformed payload header");
-    }
-    expected_crc =
-        static_cast<std::uint32_t>(parse_hex_u64("00000000" + crc_hex, path));
-  }
-
-  const std::string_view payload =
-      std::string_view(contents).substr(eol + 1);
-  if (payload.size() != expected_bytes) {
-    throw CheckpointError(
-        "checkpoint: '" + path + "' is truncated or padded: header claims " +
-        std::to_string(expected_bytes) + " payload bytes, file has " +
-        std::to_string(payload.size()));
-  }
-  const std::uint32_t actual_crc = crc32(payload);
-  if (actual_crc != expected_crc) {
-    char actual_hex[9];
-    std::snprintf(actual_hex, sizeof actual_hex, "%08x", actual_crc);
-    throw CheckpointError("checkpoint: '" + path +
-                          "' is corrupt: CRC mismatch (payload " + actual_hex +
-                          ")");
-  }
-
-  Snapshot snap = Snapshot::decode(payload);
+  Snapshot snap = decode_file_bytes(contents, "'" + path + "'");
   tel::Registry::instance().counter("checkpoint.loads").add();
   if (tel::logging_enabled()) {
     tel::log_event("checkpoint_load", 0,

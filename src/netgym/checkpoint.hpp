@@ -135,6 +135,20 @@ void write_file(const Snapshot& snap, const std::string& path);
 /// defect -- callers only see complete, checksum-verified snapshots.
 Snapshot read_file(const std::string& path);
 
+/// Serialize `snap` into the exact byte sequence write_file puts on disk
+/// (versioned header + CRC line + payload) without touching the filesystem.
+/// The distributed-training wire protocol (src/dist/) ships these blobs
+/// inside frames, so every message body carries the same version and CRC
+/// protection as a checkpoint file.
+std::string encode_file_bytes(const Snapshot& snap);
+
+/// Inverse of encode_file_bytes: validate magic, version, exact payload
+/// length, CRC, and payload syntax before returning -- a malformed blob
+/// throws CheckpointError with no partial result. `what` names the byte
+/// source in error messages (read_file passes "'<path>'", the dist layer
+/// passes things like "dist hello frame").
+Snapshot decode_file_bytes(std::string_view bytes, const std::string& what);
+
 /// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`; exposed so tests and
 /// external validators (scripts/check_checkpoint.py via Python's zlib) can
 /// agree with the writer byte-for-byte.

@@ -163,6 +163,29 @@ void encode_error(std::string& out, std::string_view message) {
   end_frame(out, at);
 }
 
+void encode_payload_frame(std::string& out, MsgType type,
+                          std::string_view payload,
+                          std::uint32_t max_frame_bytes) {
+  if (payload.size() + 1 > max_frame_bytes) {
+    throw ProtocolError("payload of " + std::to_string(payload.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(max_frame_bytes) + "-byte frame limit");
+  }
+  std::size_t at = 0;
+  begin_frame(out, at, type);
+  out.append(payload);
+  end_frame(out, at);
+}
+
+std::string_view payload_of(std::string_view body, MsgType expected) {
+  if (body.empty()) throw ProtocolError("empty frame body");
+  if (static_cast<MsgType>(static_cast<std::uint8_t>(body[0])) != expected) {
+    throw ProtocolError("payload_of: wrong message type " +
+                        std::to_string(static_cast<std::uint8_t>(body[0])));
+  }
+  return body.substr(1);
+}
+
 MsgType type_of(std::string_view body) {
   if (body.empty()) throw ProtocolError("empty frame body");
   const auto type = static_cast<std::uint8_t>(body[0]);
@@ -174,6 +197,14 @@ MsgType type_of(std::string_view body) {
     case MsgType::kActOk:
     case MsgType::kCloseOk:
     case MsgType::kError:
+    case MsgType::kDistHello:
+    case MsgType::kDistEval:
+    case MsgType::kDistItems:
+    case MsgType::kDistTrain:
+    case MsgType::kDistShutdown:
+    case MsgType::kDistHelloOk:
+    case MsgType::kDistItemsOk:
+    case MsgType::kDistTrainOk:
       return static_cast<MsgType>(type);
   }
   throw ProtocolError("unknown message type " + std::to_string(type));
@@ -275,10 +306,10 @@ std::optional<std::string> FrameReader::next() {
   std::uint32_t len = 0;
   for (int i = 3; i >= 0; --i) len = (len << 8) | p[i];
   if (len == 0) throw ProtocolError("zero-length frame");
-  if (len > kMaxFrameBytes) {
+  if (len > max_frame_bytes_) {
     throw ProtocolError("frame of " + std::to_string(len) +
                         " bytes exceeds the " +
-                        std::to_string(kMaxFrameBytes) + "-byte limit");
+                        std::to_string(max_frame_bytes_) + "-byte limit");
   }
   if (buf_.size() - pos_ - 4 < len) return std::nullopt;  // partial body
   std::string body = buf_.substr(pos_ + 4, len);

@@ -35,6 +35,13 @@ namespace serve {
 /// from ballooning server memory.
 inline constexpr std::uint32_t kMaxFrameBytes = 128u * 1024;
 
+/// Ceiling for distributed-training frames (src/dist/), which carry whole
+/// checkpoint-encoded Snapshot blobs -- policy parameter vectors plus textual
+/// mt19937_64 stream states -- rather than single observation rows. The
+/// serving daemon keeps the tight default; a dist endpoint constructs its
+/// FrameReader with this larger cap.
+inline constexpr std::uint32_t kMaxDistFrameBytes = 8u * 1024 * 1024;
+
 /// Bumped on any incompatible wire change; exchanged in hello.
 inline constexpr std::uint8_t kProtocolVersion = 1;
 
@@ -48,6 +55,17 @@ enum class MsgType : std::uint8_t {
   kActOk = 0x82,
   kCloseOk = 0x83,
   kError = 0x7f,    ///< server->client diagnostic; connection closes after
+  // Distributed-training messages (src/dist/): the body after the type byte
+  // is one checkpoint-encoded Snapshot blob (versioned + CRC-checked), so
+  // the dist layer never invents a second field codec.
+  kDistHello = 0x10,     ///< coordinator->worker: math mode, threads, version
+  kDistEval = 0x11,      ///< coordinator->worker: gap-eval setup (policy etc.)
+  kDistItems = 0x12,     ///< coordinator->worker: RNG streams of work items
+  kDistTrain = 0x13,     ///< coordinator->worker: train-from-spec request
+  kDistShutdown = 0x14,  ///< coordinator->worker: exit cleanly
+  kDistHelloOk = 0x90,
+  kDistItemsOk = 0x92,
+  kDistTrainOk = 0x93,
 };
 
 /// Raised by the decoder on malformed bytes: bad length prefix, unknown
@@ -86,6 +104,18 @@ void encode_act_ok(std::string& out, const ActResponse& r);
 void encode_close_ok(std::string& out, std::uint64_t session_id);
 void encode_error(std::string& out, std::string_view message);
 
+/// Append one frame whose body is `type` followed by `payload` verbatim (the
+/// dist message shape). Throws ProtocolError when the resulting body would
+/// exceed `max_frame_bytes`, so a writer can never emit a frame its peer's
+/// reader is bound to reject.
+void encode_payload_frame(std::string& out, MsgType type,
+                          std::string_view payload,
+                          std::uint32_t max_frame_bytes = kMaxFrameBytes);
+
+/// The body minus its leading type byte; throws ProtocolError on an empty
+/// body or when the type byte is not `expected`.
+std::string_view payload_of(std::string_view body, MsgType expected);
+
 /// Message type of a decoded body; throws ProtocolError on an empty body or
 /// a type byte no decoder knows.
 MsgType type_of(std::string_view body);
@@ -107,6 +137,11 @@ std::string decode_error(std::string_view body);
 /// because resynchronization inside a byte stream is impossible.
 class FrameReader {
  public:
+  /// The frame-size ceiling is per-endpoint: the serving daemon keeps the
+  /// default kMaxFrameBytes, dist endpoints pass kMaxDistFrameBytes.
+  explicit FrameReader(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
   void feed(const char* data, std::size_t n);
 
   std::optional<std::string> next();
@@ -115,6 +150,7 @@ class FrameReader {
   std::size_t pending_bytes() const { return buf_.size() - pos_; }
 
  private:
+  std::uint32_t max_frame_bytes_;
   std::string buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
 };

@@ -1,0 +1,103 @@
+// Worker-count invariance of the distributed curriculum trainer
+// (DESIGN.md S5i), the dist analogue of parallel_determinism_test: the
+// coordinator forks every per-item RNG stream serially before shipping work,
+// so round-by-round results are bit-identical between the in-process path
+// (workers=0, no hooks) and any worker pool -- here 1 and 2 workers, the
+// per-round comparison catching the first divergent round instead of only
+// the final state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "netgym/parallel.hpp"
+
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { netgym::set_num_threads(0); }
+};
+
+struct RoundTrace {
+  std::vector<genet::CurriculumRound> rounds;
+  std::vector<double> params;
+};
+
+RoundTrace run_rounds() {
+  genet::LbAdapter adapter(1);
+  genet::SearchOptions search;
+  search.bo_trials = 3;
+  search.envs_per_eval = 3;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 2;
+  options.seed = 17;
+  genet::CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  RoundTrace trace;
+  for (int r = 0; r < options.rounds; ++r) {
+    trace.rounds.push_back(trainer.run_round());
+  }
+  trace.params = trainer.trainer().snapshot();
+  return trace;
+}
+
+void expect_identical(const RoundTrace& got, const RoundTrace& expected,
+                      const std::string& label) {
+  ASSERT_EQ(got.rounds.size(), expected.rounds.size()) << label;
+  for (std::size_t r = 0; r < expected.rounds.size(); ++r) {
+    EXPECT_EQ(got.rounds[r].selection_score, expected.rounds[r].selection_score)
+        << label << " round " << r;
+    EXPECT_EQ(got.rounds[r].train_reward, expected.rounds[r].train_reward)
+        << label << " round " << r;
+    EXPECT_EQ(got.rounds[r].promoted.values,
+              expected.rounds[r].promoted.values)
+        << label << " round " << r;
+  }
+  EXPECT_EQ(got.params, expected.params) << label;
+}
+
+TEST(DistDeterminism, WorkerCountCannotChangeAnyRoundBit) {
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  const RoundTrace expected = run_rounds();  // workers=0: no hooks
+
+  for (int workers : {1, 2}) {
+    dist::Options options;
+    options.workers = workers;
+    options.worker_exe = GENET_CLI_PATH;
+    options.worker_args = {"dist-worker"};
+    dist::Coordinator coordinator(options);
+    coordinator.install_hooks();
+    const RoundTrace distributed = run_rounds();
+    expect_identical(distributed, expected,
+                     std::to_string(workers) + " workers");
+    EXPECT_EQ(coordinator.reassignments(), 0);
+  }
+}
+
+TEST(DistDeterminism, HooksUninstallWithTheCoordinator) {
+  // After the coordinator is gone the gap-eval hook must be gone too:
+  // a fresh run takes the in-process path and still matches.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  {
+    dist::Options options;
+    options.workers = 1;
+    options.worker_exe = GENET_CLI_PATH;
+    options.worker_args = {"dist-worker"};
+    dist::Coordinator coordinator(options);
+    coordinator.install_hooks();
+    EXPECT_TRUE(genet::gap_eval_hook_installed());
+    EXPECT_TRUE(genet::train_model_hook_installed());
+  }
+  EXPECT_FALSE(genet::gap_eval_hook_installed());
+  EXPECT_FALSE(genet::train_model_hook_installed());
+}
+
+}  // namespace

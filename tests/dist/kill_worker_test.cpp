@@ -1,0 +1,158 @@
+// Kill-one-worker determinism suite (DESIGN.md S5i): a distributed
+// curriculum run that loses a worker mid-round -- via the deterministic
+// kill-injection hook or an asynchronous SIGKILL from outside -- must
+// reassign the dead worker's in-flight work and finish with training state
+// byte-identical to the uninterrupted single-process run. The coordinator
+// spawns the real genet_cli binary (GENET_CLI_PATH) as its workers, so the
+// whole fork/exec + socketpair + hello path is under test, not a mock.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "genet/adapter.hpp"
+#include "genet/curriculum.hpp"
+#include "genet/zoo.hpp"
+#include "netgym/checkpoint.hpp"
+#include "netgym/parallel.hpp"
+
+namespace {
+
+/// Restores the global pool to its default size when a test exits.
+struct PoolGuard {
+  ~PoolGuard() { netgym::set_num_threads(0); }
+};
+
+dist::Options worker_options(int workers) {
+  dist::Options options;
+  options.workers = workers;
+  options.worker_exe = GENET_CLI_PATH;
+  options.worker_args = {"dist-worker"};
+  options.timeout_ms = 120000;
+  return options;
+}
+
+/// One small Genet curriculum run; returns the final trainer checkpoint in
+/// its canonical on-disk byte encoding (parameters, optimizer state, RNG
+/// streams, scheme state -- everything), the strongest equality available.
+std::string run_curriculum_bytes() {
+  genet::LbAdapter adapter(1);
+  genet::SearchOptions search;
+  search.bo_trials = 3;
+  search.envs_per_eval = 4;
+  genet::CurriculumOptions options;
+  options.rounds = 2;
+  options.iters_per_round = 2;
+  options.seed = 21;
+  genet::CurriculumTrainer trainer(
+      adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
+  trainer.run();
+  const std::string path = ::testing::TempDir() + "dist_kill_curriculum.ckpt";
+  trainer.save_checkpoint(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>{});
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(DistKillWorker, KilledWorkerIsReassignedAndResultBitIdentical) {
+  // Baseline: fully in-process (no hooks installed).
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  const std::string expected = run_curriculum_bytes();
+  ASSERT_FALSE(expected.empty());
+
+  // Distributed, 4 workers, worker 0 SIGKILLed right after its first
+  // dispatched work unit -- guaranteeing a unit is in flight when it dies.
+  dist::Options options = worker_options(4);
+  options.kill_worker0_after_sends = 1;
+  dist::Coordinator coordinator(options);
+  ASSERT_EQ(coordinator.alive_workers(), 4);
+  coordinator.install_hooks();
+  const std::string distributed = run_curriculum_bytes();
+
+  EXPECT_EQ(coordinator.alive_workers(), 3) << "worker 0 should be dead";
+  EXPECT_GE(coordinator.reassignments(), 1)
+      << "the killed worker's in-flight unit must have been reassigned";
+  EXPECT_EQ(distributed, expected)
+      << "kill-and-reassign must not change a single byte of training state";
+}
+
+TEST(DistKillWorker, AsyncExternalSigkillAlsoConvergesIdentically) {
+  // Same contract with a kill the coordinator cannot anticipate: SIGKILL
+  // sent from the test process between rounds, no injection hook involved.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  const std::string expected = run_curriculum_bytes();
+
+  dist::Coordinator coordinator(worker_options(3));
+  coordinator.install_hooks();
+  const std::vector<pid_t> pids = coordinator.worker_pids();
+  ASSERT_EQ(pids.size(), 3u);
+  ASSERT_EQ(::kill(pids.back(), SIGKILL), 0);
+
+  const std::string distributed = run_curriculum_bytes();
+  EXPECT_EQ(coordinator.alive_workers(), 2);
+  EXPECT_EQ(distributed, expected);
+}
+
+TEST(DistKillWorker, ZooBatchTrainingOnWorkersMatchesLocal) {
+  // Model-zoo batch trainings shipped to workers return the same parameter
+  // bits the local trainer produces, and land in the on-disk cache.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  genet::TrainModelRequest request;
+  request.adapter_spec = "lb/1";
+  request.iterations = 3;
+  request.seed = 13;
+  const std::vector<double> expected =
+      genet::train_model_for_request(request);
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("dist_zoo_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  {
+    dist::Coordinator coordinator(worker_options(2));
+    coordinator.install_hooks();
+    genet::ModelZoo zoo(dir.string());
+    genet::ModelZoo::TrainSpec spec;
+    spec.key = "lb-rl1-seed13-it3";
+    spec.adapter_spec = "lb/1";
+    spec.iterations = 3;
+    spec.seed = 13;
+    const auto trained = zoo.get_or_train_batch({spec, spec});
+    ASSERT_EQ(trained.size(), 2u);
+    EXPECT_EQ(trained[0], expected);
+    EXPECT_EQ(trained[1], expected);
+    EXPECT_TRUE(zoo.contains(spec.key));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DistKillWorker, UnitFailingEveryAttemptIsFatalNotSilent) {
+  // A unit that keeps killing its worker must eventually fail the run
+  // loudly: losing every worker to the same work unit cannot loop forever
+  // or quietly drop the unit. max_attempts=1 with a kill on the very first
+  // send makes the first death fatal deterministically.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  dist::Options options = worker_options(1);
+  options.kill_worker0_after_sends = 1;
+  options.max_attempts = 1;
+  dist::Coordinator coordinator(options);
+  coordinator.install_hooks();
+  EXPECT_THROW(run_curriculum_bytes(), std::runtime_error);
+}
+
+}  // namespace

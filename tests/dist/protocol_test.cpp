@@ -1,0 +1,324 @@
+// Wire-format tests of the distributed-training protocol (DESIGN.md S5i):
+// roundtrips preserve exact double bit patterns, the frame reader reassembles
+// byte-dribbled and torn input, oversized and corrupt frames are rejected
+// before any message object exists (decoders are pure: they either return a
+// fully validated message or throw), and the committed golden fixture pins
+// the bytes a v1 build wrote so future builds keep reading them.
+
+#include "dist/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netgym/checkpoint.hpp"
+#include "netgym/rng.hpp"
+#include "serve/frame.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Feed `bytes` one byte at a time and collect every completed frame body.
+std::vector<std::string> reassemble_bytewise(const std::string& bytes,
+                                             std::uint32_t max_frame) {
+  serve::FrameReader reader(max_frame);
+  std::vector<std::string> bodies;
+  for (char c : bytes) {
+    reader.feed(&c, 1);
+    while (auto body = reader.next()) bodies.push_back(std::move(*body));
+  }
+  return bodies;
+}
+
+TEST(DistProtocol, HelloRoundtripsAllFields) {
+  dist::Hello hello;
+  hello.math_mode = "fast";
+  hello.threads = 7;
+  std::string out;
+  dist::encode_hello(out, hello);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(serve::type_of(*body), serve::MsgType::kDistHello);
+  const dist::Hello back = dist::decode_hello(*body);
+  EXPECT_EQ(back.version, dist::kDistProtocolVersion);
+  EXPECT_EQ(back.math_mode, "fast");
+  EXPECT_EQ(back.threads, 7);
+}
+
+TEST(DistProtocol, EvalSetupPreservesExactDoubleBits) {
+  dist::EvalSetup setup;
+  setup.eval_id = 123456789012345ull;
+  setup.adapter_spec = "abr/3";
+  setup.kind = "optimum";
+  setup.baseline = "";
+  setup.config = {-0.0, std::numeric_limits<double>::denorm_min(),
+                  0.1 + 0.2,  // not representable as 0.3: pins exactness
+                  std::numeric_limits<double>::max()};
+  setup.policy_params = {1.0 / 3.0, -2.5};
+  setup.greedy = 0;
+  std::string out;
+  dist::encode_eval_setup(out, setup);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const dist::EvalSetup back = dist::decode_eval_setup(*reader.next());
+  EXPECT_EQ(back.eval_id, setup.eval_id);
+  EXPECT_EQ(back.adapter_spec, "abr/3");
+  EXPECT_EQ(back.kind, "optimum");
+  EXPECT_EQ(back.greedy, 0);
+  ASSERT_EQ(back.config.size(), setup.config.size());
+  for (std::size_t i = 0; i < setup.config.size(); ++i) {
+    EXPECT_TRUE(same_bits(back.config[i], setup.config[i])) << "config " << i;
+  }
+  ASSERT_EQ(back.policy_params.size(), setup.policy_params.size());
+  for (std::size_t i = 0; i < setup.policy_params.size(); ++i) {
+    EXPECT_TRUE(same_bits(back.policy_params[i], setup.policy_params[i]));
+  }
+}
+
+TEST(DistProtocol, ItemsRequestCarriesUsableRngStreams) {
+  // The stream states must survive the wire well enough that a worker's
+  // reconstructed engine produces the coordinator's exact draw sequence.
+  netgym::Rng source(99);
+  source.engine()();  // advance mid-stream
+  dist::ItemsRequest request;
+  request.eval_id = 4;
+  request.first = 10;
+  request.streams = {source.fork().state(), source.fork().state()};
+  netgym::Rng expect0, expect1;
+  expect0.set_state(request.streams[0]);
+  expect1.set_state(request.streams[1]);
+
+  std::string out;
+  dist::encode_items_request(out, request);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const dist::ItemsRequest back = dist::decode_items_request(*reader.next());
+  EXPECT_EQ(back.eval_id, 4u);
+  EXPECT_EQ(back.first, 10);
+  ASSERT_EQ(back.streams.size(), 2u);
+  netgym::Rng got0, got1;
+  got0.set_state(back.streams[0]);
+  got1.set_state(back.streams[1]);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(got0.engine()(), expect0.engine()());
+    EXPECT_EQ(got1.engine()(), expect1.engine()());
+  }
+}
+
+TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
+  dist::ItemsResult values;
+  values.eval_id = 8;
+  values.first = 2;
+  values.values = {-0.0, 0.125};
+  std::string out;
+  dist::encode_items_result(out, values);
+
+  dist::TrainRequest train;
+  train.train_id = 3;
+  train.adapter_spec = "cc/1";
+  train.iterations = 77;
+  train.seed = 5;
+  dist::encode_train_request(out, train);
+
+  dist::TrainResult trained;
+  trained.train_id = 3;
+  trained.params = {9.5, -0.5};
+  dist::encode_train_result(out, trained);
+  dist::encode_shutdown(out);
+
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const dist::ItemsResult v = dist::decode_items_result(*reader.next());
+  EXPECT_EQ(v.eval_id, 8u);
+  EXPECT_EQ(v.first, 2);
+  ASSERT_EQ(v.values.size(), 2u);
+  EXPECT_TRUE(same_bits(v.values[0], -0.0));
+  const dist::TrainRequest t = dist::decode_train_request(*reader.next());
+  EXPECT_EQ(t.train_id, 3u);
+  EXPECT_EQ(t.adapter_spec, "cc/1");
+  EXPECT_EQ(t.iterations, 77);
+  EXPECT_EQ(t.seed, 5u);
+  const dist::TrainResult r = dist::decode_train_result(*reader.next());
+  EXPECT_EQ(r.train_id, 3u);
+  EXPECT_EQ(r.params, (std::vector<double>{9.5, -0.5}));
+  const auto shutdown = reader.next();
+  ASSERT_TRUE(shutdown.has_value());
+  EXPECT_EQ(serve::type_of(*shutdown), serve::MsgType::kDistShutdown);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(DistProtocol, ByteAtATimeReassemblyOfFrameBeyondServeCap) {
+  // A policy-parameter frame is far larger than the serving daemon's 128 KiB
+  // cap; the dist reader must reassemble it from single-byte reads.
+  dist::EvalSetup setup;
+  setup.eval_id = 1;
+  setup.adapter_spec = "lb/2";
+  setup.kind = "baseline";
+  setup.baseline = "llf";
+  setup.policy_params.resize(40000);  // > 128 KiB of doubles on the wire
+  for (std::size_t i = 0; i < setup.policy_params.size(); ++i) {
+    setup.policy_params[i] = static_cast<double>(i) * 0.5 - 3.0;
+  }
+  std::string out;
+  dist::encode_eval_setup(out, setup);
+  ASSERT_GT(out.size(), serve::kMaxFrameBytes);
+
+  const auto bodies = reassemble_bytewise(out, serve::kMaxDistFrameBytes);
+  ASSERT_EQ(bodies.size(), 1u);
+  const dist::EvalSetup back = dist::decode_eval_setup(bodies.front());
+  EXPECT_EQ(back.policy_params, setup.policy_params);
+
+  // The serving daemon's reader must keep rejecting the same bytes: the
+  // higher ceiling is per-endpoint, not a global loosening.
+  serve::FrameReader serve_reader;
+  serve_reader.feed(out.data(), out.size());
+  EXPECT_THROW(serve_reader.next(), serve::ProtocolError);
+}
+
+TEST(DistProtocol, TornPrefixYieldsNothingUntilCompleted) {
+  std::string out;
+  dist::encode_shutdown(out);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), 3);  // mid-length-prefix
+  EXPECT_FALSE(reader.next().has_value());
+  reader.feed(out.data() + 3, out.size() - 3);
+  const auto body = reader.next();
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(serve::type_of(*body), serve::MsgType::kDistShutdown);
+}
+
+TEST(DistProtocol, OversizedPrefixRejectedByDistCapToo) {
+  const std::uint32_t bad = serve::kMaxDistFrameBytes + 1;
+  char prefix[4];
+  std::memcpy(prefix, &bad, 4);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(prefix, 4);
+  EXPECT_THROW(reader.next(), serve::ProtocolError);
+}
+
+TEST(DistProtocol, EncoderRefusesPayloadBeyondCap) {
+  std::string out;
+  const std::string huge(serve::kMaxDistFrameBytes, 'x');
+  EXPECT_THROW(serve::encode_payload_frame(out, serve::MsgType::kDistEval,
+                                           huge, serve::kMaxDistFrameBytes),
+               serve::ProtocolError);
+  EXPECT_TRUE(out.empty());  // nothing half-written
+}
+
+TEST(DistProtocol, WrongTypeByteAndEmptyBodyRejected) {
+  std::string out;
+  dist::Hello hello;
+  hello.math_mode = "strict";
+  dist::encode_hello(out, hello);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const std::string body = *reader.next();
+  EXPECT_THROW(dist::decode_train_request(body), serve::ProtocolError);
+  EXPECT_THROW(serve::payload_of("", serve::MsgType::kDistHello),
+               serve::ProtocolError);
+}
+
+TEST(DistProtocol, TruncatedSnapshotPayloadRejected) {
+  // Cut the checkpoint blob short inside a correctly framed body: the CRC /
+  // length validation must throw before decode returns anything. Decoders
+  // are pure functions, so a throw provably leaves caller state untouched.
+  dist::TrainRequest train;
+  train.train_id = 1;
+  train.adapter_spec = "lb/1";
+  train.iterations = 10;
+  std::string out;
+  dist::encode_train_request(out, train);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  const std::string body = *reader.next();
+  const std::string truncated = body.substr(0, body.size() - 5);
+  EXPECT_ANY_THROW(dist::decode_train_request(truncated));
+}
+
+TEST(DistProtocol, CorruptSnapshotCrcRejected) {
+  dist::ItemsResult values;
+  values.eval_id = 2;
+  values.first = 0;
+  values.values = {1.0, 2.0, 3.0};
+  std::string out;
+  dist::encode_items_result(out, values);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  std::string body = *reader.next();
+  body.back() ^= 0x01;  // flip one payload bit; CRC must catch it
+  EXPECT_THROW(dist::decode_items_result(body),
+               netgym::checkpoint::CheckpointError);
+}
+
+TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
+  // The committed fixture was written by tools/make_golden_checkpoints with
+  // these exact constants (keep in sync). Pinning decode AND re-encode means
+  // neither the framing, the Snapshot field layout, nor the CRC computation
+  // can drift without this test failing.
+  const std::string bytes =
+      read_file(std::string(GENET_TEST_DATA_DIR) + "/golden_dist_frames_v1.bin");
+  ASSERT_FALSE(bytes.empty());
+  const auto bodies = reassemble_bytewise(bytes, serve::kMaxDistFrameBytes);
+  ASSERT_EQ(bodies.size(), 8u);
+
+  const dist::Hello hello = dist::decode_hello(bodies[0]);
+  EXPECT_EQ(hello.version, 1);
+  EXPECT_EQ(hello.math_mode, "strict");
+  EXPECT_EQ(hello.threads, 2);
+  const dist::HelloOk hello_ok = dist::decode_hello_ok(bodies[1]);
+  EXPECT_EQ(hello_ok.pid, 4242);
+  const dist::EvalSetup setup = dist::decode_eval_setup(bodies[2]);
+  EXPECT_EQ(setup.eval_id, 7u);
+  EXPECT_EQ(setup.adapter_spec, "lb/1");
+  EXPECT_EQ(setup.kind, "baseline");
+  EXPECT_EQ(setup.baseline, "llf");
+  ASSERT_EQ(setup.config.size(), 4u);
+  EXPECT_TRUE(same_bits(setup.config[1], -0.0));
+  EXPECT_TRUE(same_bits(setup.config[3],
+                        std::numeric_limits<double>::denorm_min()));
+  const dist::ItemsRequest items = dist::decode_items_request(bodies[3]);
+  EXPECT_EQ(items.first, 3);
+  ASSERT_EQ(items.streams.size(), 2u);
+  netgym::Rng fixture_rng(42);
+  EXPECT_EQ(items.streams[0], fixture_rng.state());
+  EXPECT_EQ(items.streams[1], fixture_rng.fork().state());
+  const dist::ItemsResult values = dist::decode_items_result(bodies[4]);
+  ASSERT_EQ(values.values.size(), 2u);
+  EXPECT_TRUE(same_bits(values.values[1], 3.141592653589793));
+  const dist::TrainRequest train = dist::decode_train_request(bodies[5]);
+  EXPECT_EQ(train.adapter_spec, "cc/2");
+  EXPECT_EQ(train.iterations, 120);
+  EXPECT_EQ(train.seed, 11u);
+  const dist::TrainResult trained = dist::decode_train_result(bodies[6]);
+  EXPECT_EQ(trained.params, (std::vector<double>{0.0, -0.5, 6.0}));
+  EXPECT_EQ(serve::type_of(bodies[7]), serve::MsgType::kDistShutdown);
+
+  std::string reencoded;
+  dist::encode_hello(reencoded, hello);
+  dist::encode_hello_ok(reencoded, hello_ok);
+  dist::encode_eval_setup(reencoded, setup);
+  dist::encode_items_request(reencoded, items);
+  dist::encode_items_result(reencoded, values);
+  dist::encode_train_request(reencoded, train);
+  dist::encode_train_result(reencoded, trained);
+  dist::encode_shutdown(reencoded);
+  EXPECT_EQ(reencoded, bytes);
+}
+
+}  // namespace

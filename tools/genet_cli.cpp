@@ -26,6 +26,8 @@
 
 #include <filesystem>
 
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/report.hpp"
 #include "genet/adapter.hpp"
@@ -53,6 +55,15 @@ commands:
   train   --task abr|cc|lb [--space 1|2|3] [--method rl|genet|cl1|cl2|cl3|ensemble]
           [--baseline NAME] [--iters N] [--rounds N] [--trials N] [--envs N]
           [--seed N] --out FILE
+          [--workers N] [--dist-timeout-ms MS]
+            distributed curriculum training (DESIGN.md S5i): with
+            --workers N >= 1 (default: the GENET_WORKERS env var, else 0 =
+            in-process), curriculum gap evaluations and model-zoo trainings
+            are sharded across N forked worker processes. Results are
+            bit-identical to --workers 0 at any worker count, including
+            across worker crashes (dead workers' work is reassigned).
+            --dist-timeout-ms (env: GENET_DIST_TIMEOUT_MS, default 120000)
+            is the per-work-unit deadline before a worker is declared dead.
           [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
             crash-safe snapshots: with --checkpoint-dir (default: the
             GENET_CHECKPOINT_DIR env var), training writes DIR/latest.ckpt
@@ -259,6 +270,37 @@ int cmd_train(const Options& options) {
   const std::string baseline =
       get(options, "baseline", default_baseline(*adapter));
 
+  // Distributed training (DESIGN.md S5i): env var configures jobs globally,
+  // the flag overrides per run, garbage in either fails loudly naming the
+  // knob (pinned by ctest). workers == 0 keeps everything in-process.
+  long long workers = netgym::env_i64("GENET_WORKERS", 0, 0, 1024);
+  if (options.count("workers") != 0U) {
+    workers = netgym::parse_i64_in_range("--workers", options.at("workers"),
+                                         0, 1024);
+  }
+  std::int64_t dist_timeout_ms =
+      netgym::env_i64("GENET_DIST_TIMEOUT_MS", 120000, 1, 86400000);
+  if (options.count("dist-timeout-ms") != 0U) {
+    dist_timeout_ms = netgym::parse_i64_in_range(
+        "--dist-timeout-ms", options.at("dist-timeout-ms"), 1, 86400000);
+  }
+  std::unique_ptr<dist::Coordinator> coordinator;
+  if (workers > 0) {
+    dist::Options dopts;
+    dopts.workers = static_cast<int>(workers);
+    dopts.worker_exe =
+        std::filesystem::read_symlink("/proc/self/exe").string();
+    dopts.worker_args = {"dist-worker"};
+    dopts.timeout_ms = dist_timeout_ms;
+    dopts.kill_worker0_after_sends = static_cast<int>(netgym::env_i64(
+        "GENET_DIST_KILL_AFTER_SEND", -1, -1, 1 << 20));
+    coordinator = std::make_unique<dist::Coordinator>(dopts);
+    coordinator->install_hooks();
+    std::printf("distributed: %d workers (per-unit deadline %lld ms)\n",
+                coordinator->alive_workers(),
+                static_cast<long long>(dist_timeout_ms));
+  }
+
   const std::string ckpt_dir = checkpoint_dir_of(options);
   const int ckpt_every = get_int(options, "checkpoint-every", 1);
   const bool resume = options.count("resume") != 0U;
@@ -354,6 +396,11 @@ int cmd_train(const Options& options) {
     params = trainer.trainer().snapshot();
   }
 
+  if (coordinator != nullptr && coordinator->reassignments() > 0) {
+    std::printf("distributed: %lld work unit(s) reassigned after worker "
+                "death\n",
+                static_cast<long long>(coordinator->reassignments()));
+  }
   save_params(out, params);
   std::printf("saved %zu parameters to %s\n", params.size(), out.c_str());
   return 0;
@@ -546,6 +593,21 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   const Options options = parse(argc, argv, 2);
+  // Hidden subcommand: the coordinator re-execs this binary as a worker with
+  // its socketpair fd. Handled before any env-driven telemetry/thread setup
+  // so inherited GENET_LOG / GENET_THREADS cannot make a worker clobber the
+  // coordinator's log file or oversubscribe the host; the worker's math mode
+  // and thread count come from the coordinator's hello frame instead.
+  if (command == "dist-worker") {
+    try {
+      const int fd = static_cast<int>(netgym::parse_i64_in_range(
+          "--dist-fd", require(options, "dist-fd"), 0, 1 << 20));
+      return dist::worker_main(fd);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   try {
     if (options.count("threads") != 0U) {
       netgym::set_num_threads(static_cast<int>(

@@ -11,10 +11,13 @@
 // duplicated in tests/netgym/golden_checkpoint_test.cpp; keep them in sync.
 
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "dist/protocol.hpp"
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "netgym/checkpoint.hpp"
@@ -104,6 +107,61 @@ void write_policy_goldens(const std::string& dir) {
   }
 }
 
+void write_dist_frames_golden(const std::string& dir) {
+  // One frame of every dist protocol message, concatenated, with fixed
+  // constants. tests/dist/protocol_test.cpp decodes this fixture and
+  // re-encodes it byte-for-byte, pinning the wire format (framing, Snapshot
+  // field layout, CRC) against accidental change: a new build must keep
+  // reading frames an old build wrote. The constants are duplicated there;
+  // keep them in sync. Only regenerate on a deliberate protocol bump (new
+  // kDistProtocolVersion, new fixture file next to the old one).
+  std::string bytes;
+  dist::Hello hello;
+  hello.math_mode = "strict";
+  hello.threads = 2;
+  dist::encode_hello(bytes, hello);
+  dist::HelloOk hello_ok;
+  hello_ok.pid = 4242;
+  dist::encode_hello_ok(bytes, hello_ok);
+  dist::EvalSetup setup;
+  setup.eval_id = 7;
+  setup.adapter_spec = "lb/1";
+  setup.kind = "baseline";
+  setup.baseline = "llf";
+  setup.config = {0.5, -0.0, 1.25, std::numeric_limits<double>::denorm_min()};
+  setup.policy_params = {1.0, -2.5, 0.0078125};
+  setup.greedy = 1;
+  dist::encode_eval_setup(bytes, setup);
+  dist::ItemsRequest items;
+  items.eval_id = 7;
+  items.first = 3;
+  netgym::Rng stream_rng(42);
+  items.streams = {stream_rng.state(), stream_rng.fork().state()};
+  dist::encode_items_request(bytes, items);
+  dist::ItemsResult values;
+  values.eval_id = 7;
+  values.first = 3;
+  values.values = {-0.125, 3.141592653589793};
+  dist::encode_items_result(bytes, values);
+  dist::TrainRequest train;
+  train.train_id = 9;
+  train.adapter_spec = "cc/2";
+  train.iterations = 120;
+  train.seed = 11;
+  dist::encode_train_request(bytes, train);
+  dist::TrainResult trained;
+  trained.train_id = 9;
+  trained.params = {0.0, -0.5, 6.0};
+  dist::encode_train_result(bytes, trained);
+  dist::encode_shutdown(bytes);
+
+  const std::string path = dir + "/golden_dist_frames_v1.bin";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    throw std::runtime_error("cannot write " + path);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +175,7 @@ int main(int argc, char** argv) {
   write_rng_golden(dir);
   write_curriculum_golden(dir);
   write_policy_goldens(dir);
+  write_dist_frames_golden(dir);
   std::printf("wrote golden checkpoints to %s\n", dir.c_str());
   return 0;
 }
