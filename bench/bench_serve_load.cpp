@@ -35,7 +35,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
+#include <utility>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -242,12 +244,19 @@ struct ServerStats {
   double mean_batch = 0.0;
   double batches = 0.0;
   bool present = false;
+  /// Per-request latency attribution (DESIGN.md S5j): snapshots of the
+  /// serve.phase.* histograms, in the fixed phase order
+  /// queue/batch/forward/write/total. Empty when the server recorded no
+  /// phases (external mode or a pre-phase daemon).
+  std::vector<std::pair<std::string, netgym::telemetry::Histogram::Snapshot>>
+      phases;
 };
 
 ServerStats read_server_stats() {
   ServerStats stats;
   double batch_count = 0.0;
   double batch_sum = 0.0;
+  std::map<std::string, netgym::telemetry::Histogram::Snapshot> phase_hists;
   for (const auto& entry :
        netgym::telemetry::Registry::instance().snapshot()) {
     if (entry.name == "serve.batch_size" &&
@@ -257,9 +266,20 @@ ServerStats read_server_stats() {
       stats.present = true;
     } else if (entry.name == "serve.batches") {
       stats.batches = entry.value;
+    } else if (entry.name.rfind("serve.phase.", 0) == 0 &&
+               entry.kind == netgym::telemetry::Registry::Kind::kHistogram) {
+      // "serve.phase.queue_s" -> "queue"
+      std::string phase = entry.name.substr(std::strlen("serve.phase."));
+      const auto suffix = phase.rfind("_s");
+      if (suffix != std::string::npos) phase.resize(suffix);
+      phase_hists[phase] = entry.hist;
     }
   }
   if (batch_count > 0) stats.mean_batch = batch_sum / batch_count;
+  for (const char* name : {"queue", "batch", "forward", "write", "total"}) {
+    const auto it = phase_hists.find(name);
+    if (it != phase_hists.end()) stats.phases.emplace_back(name, it->second);
+  }
   return stats;
 }
 
@@ -304,6 +324,25 @@ void write_json(const std::string& path, const Config& cfg, bool self_mode,
   if (stats.present) {
     out << "  \"server\": {\"batches\": " << num(stats.batches)
         << ", \"mean_batch_size\": " << num(stats.mean_batch) << "},\n";
+  }
+  if (!stats.phases.empty()) {
+    // Per-phase latency attribution: the four phases partition each acted
+    // request's end-to-end time exactly (queue + batch + forward + write ==
+    // total per request), validated by scripts/check_bench_json.py.
+    out << "  \"phases\": {";
+    bool first_phase = true;
+    for (const auto& [name, hist] : stats.phases) {
+      if (!first_phase) out << ", ";
+      first_phase = false;
+      const double mean =
+          hist.count > 0 ? hist.sum / static_cast<double>(hist.count) : 0.0;
+      out << "\"" << name << "\": {\"count\": " << hist.count
+          << ", \"mean_ms\": " << num(mean * 1e3)
+          << ", \"p50_ms\": " << num(hist.p50 * 1e3)
+          << ", \"p99_ms\": " << num(hist.p99 * 1e3)
+          << ", \"max_ms\": " << num(hist.max * 1e3) << "}";
+    }
+    out << "},\n";
   }
   out << "  \"hot_swap\": {"
       << "\"enabled\": " << (swap_enabled ? "true" : "false")
@@ -480,6 +519,11 @@ int main(int argc, char** argv) {
     if (stats.present) {
       std::printf("  server: %.0f batches, mean batch size %.1f\n",
                   stats.batches, stats.mean_batch);
+    }
+    for (const auto& [name, hist] : stats.phases) {
+      std::printf("  phase %-8s p50 %.3fms  p99 %.3fms  max %.3fms\n",
+                  name.c_str(), hist.p50 * 1e3, hist.p99 * 1e3,
+                  hist.max * 1e3);
     }
     if (swap_enabled) {
       std::printf("  hot swap: versions seen {");

@@ -17,6 +17,12 @@ reports instead produce three CSVs — <stem>_scenarios.csv (one row per
 scenario, scalar fields only), <stem>_metrics.csv and <stem>_slos.csv
 (one row per scenario x metric/SLO, scenario name in the first column).
 
+BENCH_serve.json similarly produces <stem>_summary.csv (the scalar run
+header with the latency percentiles inlined as latency_*_ms columns) and,
+when the report carries the per-phase attribution block, <stem>_phases.csv
+with one row per phase (queue/batch/forward/write/total) and the
+count/mean_ms/p50_ms/p99_ms/max_ms columns.
+
 Usage:
     python3 scripts/bench_to_csv.py [bench_output.txt | BENCH_x.json] [output_dir]
 """
@@ -185,6 +191,40 @@ def fleet_to_csv(doc, stem, out_dir):
     return count
 
 
+def serve_to_csv(doc, stem, out_dir):
+    """Flatten a "bench": "serve" report into summary + per-phase CSVs.
+
+    The phase table is the plot-ready form of the serve.phase.* histograms:
+    one row per phase so a stacked latency-attribution bar falls out of a
+    single groupby.
+    """
+    count = 0
+    summary = {
+        k: v for k, v in doc.items() if not isinstance(v, (list, dict))
+    }
+    for key, value in (doc.get("latency_ms") or {}).items():
+        summary[f"latency_{key}_ms"] = value
+    write_csv(
+        os.path.join(out_dir, f"{stem}_summary.csv"),
+        list(summary.keys()),
+        [summary],
+    )
+    count += 1
+    phase_rows = [
+        {"phase": name, **vals}
+        for name, vals in (doc.get("phases") or {}).items()
+        if isinstance(vals, dict)
+    ]
+    if phase_rows:
+        write_csv(
+            os.path.join(out_dir, f"{stem}_phases.csv"),
+            list(phase_rows[0].keys()),
+            phase_rows,
+        )
+        count += 1
+    return count
+
+
 def json_sections_to_csv(src, out_dir):
     """Write one CSV per top-level list-of-objects section of a JSON report.
 
@@ -200,6 +240,8 @@ def json_sections_to_csv(src, out_dir):
     stem = slugify(os.path.splitext(os.path.basename(src))[0])
     if doc.get("bench") == "fleet":
         return fleet_to_csv(doc, stem, out_dir)
+    if doc.get("bench") == "serve":
+        return serve_to_csv(doc, stem, out_dir)
     count = 0
     for section, rows in doc.items():
         if not isinstance(rows, list) or not rows:

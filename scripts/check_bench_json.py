@@ -16,7 +16,15 @@ Dispatches on the top-level "bench" field:
       ok_requests must equal requests_total in every report. `--min-rps X`
       additionally requires requests_per_s >= X; `--require-swap` requires
       the hot-swap block to show a mid-run policy version change
-      (enabled, observed, >= 2 versions seen, last != first).
+      (enabled, observed, >= 2 versions seen, last != first). When the
+      report carries the per-phase attribution block ("phases": queue /
+      batch / forward / write / total, from the serve.phase.* histograms),
+      every phase is schema-checked, counts must agree across phases,
+      percentiles must be monotone, and the four component p50s must sum to
+      the end-to-end p50 within `--phase-tolerance` (default 0.25; the
+      committed full-run report is held to 0.10) — the phases partition each
+      request's latency exactly, so a large residual means the attribution
+      timestamps drifted.
 
   fleet  (bench/bench_fleet, `genet fleet --json`) — the run header, the
       determinism block (if checked, identical must be true: the 1-vs-4
@@ -31,6 +39,7 @@ Dispatches on the top-level "bench" field:
 Usage:
     python3 scripts/check_bench_json.py FILE [--min-speedup X]
                                              [--min-rps X] [--require-swap]
+                                             [--phase-tolerance X]
                                              [--require-slo]
                                              [--min-sessions-per-s X]
 
@@ -105,6 +114,18 @@ SERVE_SWAP_FIELDS = {
     "first_version": "int",
     "last_version": "int",
 }
+
+SERVE_PHASE_FIELDS = {
+    "count": "int",
+    "mean_ms": "num",
+    "p50_ms": "num",
+    "p99_ms": "num",
+    "max_ms": "num",
+}
+
+# The four components partition "total" exactly per request (DESIGN.md S5j):
+# queue-wait + batch-formation + forward + write-back == end-to-end.
+SERVE_PHASE_NAMES = ("queue", "batch", "forward", "write", "total")
 
 
 FLEET_HEADER = {
@@ -279,6 +300,41 @@ def check_serve(path, doc, opts):
         return f"{path}: latency percentiles are not monotone"
     if latency["p50"] <= 0:
         return f"{path}: latency p50 is not positive"
+
+    phases = doc.get("phases")
+    if phases is not None:  # pre-S5j reports lack the attribution block
+        if not isinstance(phases, dict):
+            return f"{path}: phases is not an object"
+        for name in SERVE_PHASE_NAMES:
+            phase = phases.get(name)
+            if not isinstance(phase, dict):
+                return f"{path}: phases.{name} missing"
+            err = check_fields(f"{path}: phases.{name}", phase,
+                               SERVE_PHASE_FIELDS)
+            if err:
+                return err
+            if not phase["p50_ms"] <= phase["p99_ms"] <= phase["max_ms"]:
+                return f"{path}: phases.{name} percentiles are not monotone"
+            if phase["count"] != phases["total"]["count"]:
+                return (
+                    f"{path}: phases.{name}.count {phase['count']} != "
+                    f"total.count {phases['total']['count']} — every acted "
+                    f"request records every phase"
+                )
+        total_p50 = phases["total"]["p50_ms"]
+        component_sum = sum(
+            phases[name]["p50_ms"] for name in SERVE_PHASE_NAMES[:-1]
+        )
+        if total_p50 > 0:
+            residual = abs(component_sum - total_p50) / total_p50
+            if residual > opts["phase_tolerance"]:
+                return (
+                    f"{path}: phase p50s sum to {component_sum:.4f}ms but "
+                    f"end-to-end p50 is {total_p50:.4f}ms "
+                    f"(residual {residual:.1%} > "
+                    f"{opts['phase_tolerance']:.0%}) — attribution "
+                    f"timestamps no longer partition the request"
+                )
 
     swap = doc.get("hot_swap")
     if not isinstance(swap, dict):
@@ -466,10 +522,12 @@ def main() -> int:
         "require_swap": False,
         "require_slo": False,
         "min_sessions_per_s": None,
+        "phase_tolerance": 0.25,
     }
     i = 0
     while i < len(argv):
-        if argv[i] in ("--min-speedup", "--min-rps", "--min-sessions-per-s"):
+        if argv[i] in ("--min-speedup", "--min-rps", "--min-sessions-per-s",
+                       "--phase-tolerance"):
             key = argv[i].lstrip("-").replace("-", "_")
             if i + 1 >= len(argv):
                 print(f"{argv[i]} needs a value", file=sys.stderr)

@@ -8,8 +8,21 @@ order (e.g. some `bo_trial` span inside a `round` span, some `eval` span
 inside that `bo_trial`, ...). That is the nesting Perfetto will render, so
 this is the scriptable version of eyeballing the trace.
 
+Merged multi-process traces (DESIGN.md S5j) get three more checks:
+
+  * `--min-pids N` requires span events across at least N distinct process
+    lanes -- a coordinator trace that lost its worker lanes fails here.
+  * Orphan detection: every span whose args carry a nonzero `parent` must
+    reference a `span_id` that exists somewhere in the file. A dead worker's
+    spans are allowed to be *absent* (dropped and counted), but a present
+    span must never point at a parent that was silently lost.
+  * Per-lane ordering: within each (pid, tid) lane, span *completion* times
+    (ts + dur) must be non-decreasing in file order. Rings push spans when
+    they end, and the coordinator appends shipped batches in arrival order,
+    so a lane that violates this was merged or clock-mapped incorrectly.
+
 Usage:
-    python3 scripts/check_trace.py FILE [outer_span inner_span ...]
+    python3 scripts/check_trace.py FILE [outer inner ...] [--min-pids N]
 
 Exit status 0 on success; 1 with a diagnostic otherwise.
 """
@@ -43,11 +56,31 @@ def chain_exists(spans_by_name, names, parent=None) -> bool:
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    argv = sys.argv[1:]
+    path = None
+    chain = []
+    min_pids = None
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--min-pids":
+            if i + 1 >= len(argv):
+                print("--min-pids needs a value", file=sys.stderr)
+                return 1
+            try:
+                min_pids = int(argv[i + 1])
+            except ValueError:
+                print(f"bad --min-pids value '{argv[i + 1]}'", file=sys.stderr)
+                return 1
+            i += 2
+            continue
+        if path is None:
+            path = argv[i]
+        else:
+            chain.append(argv[i])
+        i += 1
+    if path is None:
         print(__doc__, file=sys.stderr)
         return 1
-    path = sys.argv[1]
-    chain = sys.argv[2:]
 
     with open(path, encoding="utf-8") as handle:
         try:
@@ -62,6 +95,10 @@ def main() -> int:
 
     spans_by_name = {}
     span_count = 0
+    pids = set()
+    span_ids = set()
+    parent_refs = []  # (event index, parent id)
+    last_end_by_lane = {}  # (pid, tid) -> (event index, end ts)
     for i, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             print(f"{path}: event {i} has no phase", file=sys.stderr)
@@ -75,8 +112,46 @@ def main() -> int:
             return 1
         spans_by_name.setdefault(event["name"], []).append(event)
         span_count += 1
+        pids.add(event.get("pid"))
+        args = event.get("args")
+        if isinstance(args, dict):
+            if args.get("span_id"):
+                span_ids.add(args["span_id"])
+            if args.get("parent"):
+                parent_refs.append((i, args["parent"]))
+        lane = (event.get("pid"), event.get("tid"))
+        end = event["ts"] + event["dur"]
+        prev = last_end_by_lane.get(lane)
+        if prev is not None and end < prev[1] - EPS_US:
+            print(
+                f"{path}: lane pid={lane[0]} tid={lane[1]} is not "
+                f"completion-ordered: event {i} ends at {end}us before "
+                f"event {prev[0]}'s end {prev[1]}us",
+                file=sys.stderr,
+            )
+            return 1
+        if prev is None or end > prev[1]:
+            last_end_by_lane[lane] = (i, end)
     if span_count == 0:
         print(f"{path}: no span events", file=sys.stderr)
+        return 1
+
+    for i, parent in parent_refs:
+        if parent not in span_ids:
+            print(
+                f"{path}: event {i} is orphaned: parent span {parent} "
+                f"appears nowhere in the file",
+                file=sys.stderr,
+            )
+            return 1
+
+    if min_pids is not None and len(pids) < min_pids:
+        print(
+            f"{path}: spans cover {len(pids)} process lane(s) "
+            f"{sorted(p for p in pids if p is not None)}, "
+            f"want >= {min_pids}",
+            file=sys.stderr,
+        )
         return 1
 
     for name in chain:
@@ -91,6 +166,8 @@ def main() -> int:
         return 1
 
     suffix = f", chain {' > '.join(chain)} OK" if chain else ""
+    if min_pids is not None:
+        suffix += f", {len(pids)} process lanes"
     print(f"{path}: {span_count} spans OK{suffix}")
     return 0
 

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Scrape a live Genet metrics endpoint and validate the exposition text.
+
+Connects to the read-only localhost endpoint that `genet train
+--metrics-port` / `genet_serve --metrics-port` expose (DESIGN.md S5j), GETs
+/metrics, and checks the response against the Prometheus text exposition
+format (version 0.0.4):
+
+  * HTTP 200 with the text/plain; version=0.0.4 content type.
+  * Every sample line is `name[{labels}] value` with a sanitized metric name
+    ([a-zA-Z_:][a-zA-Z0-9_:]*) and a float-parseable value.
+  * Every `# TYPE name kind` line has kind counter|gauge|summary and comes
+    before that metric's samples; every sample belongs to a declared metric.
+  * Summaries: quantile labels parse as floats in [0, 1] and appear in
+    increasing order; `_sum` and `_count` samples are present; the quantile
+    samples of an empty summary (count 0) are omitted, never NaN.
+
+Usage:
+    python3 scripts/scrape_metrics.py (--port N | --port-file PATH)
+                                      [--expect NAME]... [--timeout S]
+
+`--port-file` reads the port from a file the daemon writes (first line),
+waiting up to --timeout (default 10s) for it to appear. `--expect NAME`
+additionally requires a metric with that (sanitized) name to be present --
+repeatable. Exit status 0 on success; 1 with a diagnostic otherwise.
+Pure stdlib, no dependencies.
+"""
+
+import re
+import socket
+import sys
+import time
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|summary|histogram|untyped)$"
+)
+
+
+def http_get_metrics(port: int, timeout: float) -> str:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            data = s.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks).decode("utf-8", errors="replace")
+
+
+def base_name(sample_name: str) -> str:
+    """Metric family a sample belongs to (strips _sum/_count suffixes)."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate(body: str, expect):
+    declared = {}  # name -> kind
+    samples = {}  # family -> list of (labels dict, value)
+    for lineno, line in enumerate(body.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    return f"line {lineno}: malformed TYPE line: {line!r}"
+                name = m.group("name")
+                if not NAME_RE.match(name):
+                    return f"line {lineno}: unsanitized metric name {name!r}"
+                if name in declared:
+                    return f"line {lineno}: duplicate TYPE for {name!r}"
+                declared[name] = m.group("kind")
+            continue  # HELP and other comments are free-form
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return f"line {lineno}: malformed sample line: {line!r}"
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            return f"line {lineno}: unparseable value {m.group('value')!r}"
+        family = base_name(m.group("name"))
+        if family not in declared:
+            return (
+                f"line {lineno}: sample {m.group('name')!r} has no "
+                f"preceding TYPE line"
+            )
+        labels = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                if "=" not in part:
+                    return f"line {lineno}: malformed label {part!r}"
+                key, _, raw = part.partition("=")
+                if not (raw.startswith('"') and raw.endswith('"')):
+                    return f"line {lineno}: unquoted label value {raw!r}"
+                labels[key] = raw[1:-1]
+        samples.setdefault(family, []).append((labels, value))
+
+    if not declared:
+        return "no TYPE lines: empty or non-Prometheus body"
+
+    for name, kind in declared.items():
+        rows = samples.get(name, [])
+        if kind == "summary":
+            quantiles = [
+                (labels, value)
+                for labels, value in rows
+                if "quantile" in labels
+            ]
+            # _sum/_count samples land under the same family via base_name.
+            plain = [v for labels, v in rows if not labels]
+            if len(plain) < 2:
+                return f"summary {name!r}: missing _sum/_count samples"
+            qs = []
+            for labels, value in quantiles:
+                try:
+                    q = float(labels["quantile"])
+                except ValueError:
+                    return (
+                        f"summary {name!r}: bad quantile label "
+                        f"{labels['quantile']!r}"
+                    )
+                if not 0.0 <= q <= 1.0:
+                    return f"summary {name!r}: quantile {q} outside [0, 1]"
+                if value != value:  # NaN
+                    return f"summary {name!r}: quantile {q} is NaN"
+                qs.append(q)
+            if qs != sorted(qs):
+                return f"summary {name!r}: quantiles out of order: {qs}"
+        else:
+            if not rows:
+                return f"metric {name!r}: TYPE line but no samples"
+
+    missing = [name for name in expect if name not in declared]
+    if missing:
+        return (
+            f"expected metric(s) {missing} not exposed; "
+            f"got {sorted(declared)}"
+        )
+    return None
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    port = None
+    port_file = None
+    expect = []
+    timeout = 10.0
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--port" and i + 1 < len(argv):
+            port = int(argv[i + 1])
+            i += 2
+        elif argv[i] == "--port-file" and i + 1 < len(argv):
+            port_file = argv[i + 1]
+            i += 2
+        elif argv[i] == "--expect" and i + 1 < len(argv):
+            expect.append(argv[i + 1])
+            i += 2
+        elif argv[i] == "--timeout" and i + 1 < len(argv):
+            timeout = float(argv[i + 1])
+            i += 2
+        else:
+            print(__doc__, file=sys.stderr)
+            return 1
+    if (port is None) == (port_file is None):
+        print("exactly one of --port / --port-file required", file=sys.stderr)
+        return 1
+
+    deadline = time.monotonic() + timeout
+    if port_file is not None:
+        while True:
+            try:
+                with open(port_file, encoding="utf-8") as handle:
+                    text = handle.readline().strip()
+                if text:
+                    port = int(text)
+                    break
+            except OSError:
+                pass
+            if time.monotonic() >= deadline:
+                print(f"{port_file}: no port within {timeout}s", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+
+    # Retry until the deadline: the endpoint may not have bound yet, and an
+    # --expect'ed metric registers lazily on first use, so a scrape early in
+    # the run is allowed to come up short and try again.
+    last_err = "never attempted"
+    while True:
+        try:
+            response = http_get_metrics(port, 2.0)
+            head, _, body = response.partition("\r\n\r\n")
+            status = head.splitlines()[0] if head else ""
+            if " 200 " not in status:
+                last_err = f"bad status line {status!r}"
+            elif "text/plain; version=0.0.4" not in head:
+                last_err = f"missing exposition content type in {head!r}"
+            else:
+                err = validate(body, expect)
+                if err is None:
+                    families = len(re.findall(r"^# TYPE ", body, flags=re.M))
+                    print(
+                        f"127.0.0.1:{port}: exposition OK "
+                        f"({families} metric families)"
+                    )
+                    return 0
+                last_err = err
+        except OSError as err:
+            last_err = str(err)
+        if time.monotonic() >= deadline:
+            print(f"127.0.0.1:{port}: {last_err}", file=sys.stderr)
+            return 1
+        time.sleep(0.2)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

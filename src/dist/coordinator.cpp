@@ -49,6 +49,10 @@ Coordinator::Coordinator(const Options& options) : options_(options) {
   if (options_.timeout_ms < 1) {
     throw std::invalid_argument("dist: timeout_ms must be >= 1");
   }
+  // Observational only: the id correlates trace lanes across processes and
+  // never feeds any computation, so it may come from the wall clock.
+  trace_id_ = (static_cast<std::uint64_t>(::getpid()) << 32) ^
+              static_cast<std::uint64_t>(netgym::tracing::now_ns());
   workers_.resize(static_cast<std::size_t>(options_.workers));
   for (std::size_t i = 0; i < workers_.size(); ++i) spawn_worker(i);
   exchange_hellos();
@@ -149,10 +153,18 @@ void Coordinator::exchange_hellos() {
   Hello hello;
   hello.math_mode = nn::math_mode_name(nn::math_mode());
   hello.threads = options_.threads_per_worker;
-  std::string frame;
-  encode_hello(frame, hello);
-  for (WorkerProc& w : workers_) {
-    if (w.alive) (void)send_to(w, frame);
+  hello.trace_id = trace_id_;
+  hello.trace_enabled = netgym::tracing::enabled() ? 1 : 0;
+  hello.trace_capacity =
+      static_cast<std::int64_t>(netgym::tracing::kDefaultBufferCapacity);
+  hello.trace_ship_max_bytes = options_.trace_ship_max_bytes;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerProc& w = workers_[i];
+    if (!w.alive) continue;
+    hello.worker_ordinal = static_cast<std::int64_t>(i);
+    std::string frame;
+    encode_hello(frame, hello);
+    (void)send_to(w, frame);
   }
   const std::int64_t deadline = now_ms() + options_.timeout_ms;
   for (;;) {
@@ -226,6 +238,12 @@ void Coordinator::destroy_worker(WorkerProc& worker, const char* reason) {
   while (::waitpid(worker.pid, nullptr, 0) < 0 && errno == EINTR) {
   }
   tel::Registry::instance().counter("dist.worker_deaths").add();
+  if (netgym::tracing::enabled()) {
+    // The dead worker's unshipped spans are gone; the merged trace stays
+    // valid (its shipped batches are already registered) but the loss is
+    // counted so an operator can see the gap is real, not a bug.
+    tel::Registry::instance().counter("dist.trace_batches_lost").add();
+  }
   log_worker_event(
       static_cast<std::size_t>(&worker - workers_.data()), worker.pid,
       reason);
@@ -286,10 +304,29 @@ void Coordinator::maybe_inject_kill(std::size_t index) {
   ::kill(workers_[0].pid, SIGKILL);
 }
 
+void Coordinator::register_remote_spans(std::size_t worker_index,
+                                        SpanBatch batch) {
+  if (batch.empty() || !netgym::tracing::enabled()) return;
+  auto& registry = tel::Registry::instance();
+  if (batch.dropped > 0) {
+    registry.counter("dist.trace_spans_dropped").add(batch.dropped);
+  }
+  if (batch.spans.empty()) return;
+  registry.counter("dist.trace_spans_shipped")
+      .add(static_cast<std::int64_t>(batch.spans.size()));
+  for (auto& span : batch.spans) {
+    if (span.parent_id == 0) span.parent_id = current_parent_;
+  }
+  netgym::tracing::add_remote_spans(
+      static_cast<std::int64_t>(workers_[worker_index].pid),
+      "worker-" + std::to_string(worker_index), std::move(batch.spans));
+}
+
 void Coordinator::run_units(
     std::size_t n,
     const std::function<void(std::size_t, std::string&)>& encode_unit,
-    const std::function<std::size_t(const std::string&)>& on_result) {
+    const std::function<std::size_t(std::size_t, const std::string&)>&
+        on_result) {
   pending_.clear();
   for (std::size_t i = 0; i < n; ++i) pending_.push_back(i);
   attempts_.assign(n, 0);
@@ -374,7 +411,7 @@ void Coordinator::run_units(
           // field shapes, unit bookkeeping -- before any state mutates; a
           // truncated or corrupt payload lands here and costs the worker,
           // not the run.
-          unit = on_result(body);
+          unit = on_result(fd_owner[k], body);
         } catch (const std::exception&) {
           destroy_worker(w, "malformed result");
           break;
@@ -403,7 +440,12 @@ void Coordinator::run_units(
 
 std::vector<double> Coordinator::eval_items(
     const genet::GapEvalRequest& request) {
-  netgym::tracing::TraceSpan span("dist.eval", "dist");
+  // The dispatch span's id travels in the setup frame so every worker span
+  // shipped back can be parented under it in the merged trace.
+  const std::uint64_t dispatch_span =
+      netgym::tracing::enabled() ? netgym::tracing::next_span_id() : 0;
+  netgym::tracing::TraceSpan span("dist.eval", "dist", -1, dispatch_span);
+  current_parent_ = dispatch_span;
   const std::size_t n = request.stream_states.size();
   const std::uint64_t eval_id = ++eval_seq_;
   const std::int64_t reassigned_before = reassigned_;
@@ -416,6 +458,7 @@ std::vector<double> Coordinator::eval_items(
   setup.config = request.config;
   setup.policy_params = request.policy_params;
   setup.greedy = request.greedy ? 1 : 0;
+  setup.parent_span = dispatch_span;
   std::string setup_frame;
   encode_eval_setup(setup_frame, setup);
   broadcast(setup_frame);
@@ -431,8 +474,8 @@ std::vector<double> Coordinator::eval_items(
         items.streams.push_back(request.stream_states[i]);
         encode_items_request(out, items);
       },
-      [&](const std::string& body) -> std::size_t {
-        const ItemsResult result = decode_items_result(body);
+      [&](std::size_t worker, const std::string& body) -> std::size_t {
+        ItemsResult result = decode_items_result(body);
         if (result.eval_id != eval_id || result.first < 0 ||
             result.first >= static_cast<std::int64_t>(n) ||
             result.values.size() != 1 ||
@@ -442,6 +485,7 @@ std::vector<double> Coordinator::eval_items(
         const auto i = static_cast<std::size_t>(result.first);
         values[i] = result.values[0];
         done[i] = 1;
+        register_remote_spans(worker, std::move(result.spans));
         return i;
       });
 
@@ -459,7 +503,10 @@ std::vector<double> Coordinator::eval_items(
 
 std::vector<std::vector<double>> Coordinator::train_models(
     const std::vector<genet::TrainModelRequest>& requests) {
-  netgym::tracing::TraceSpan span("dist.train", "dist");
+  const std::uint64_t dispatch_span =
+      netgym::tracing::enabled() ? netgym::tracing::next_span_id() : 0;
+  netgym::tracing::TraceSpan span("dist.train", "dist", -1, dispatch_span);
+  current_parent_ = dispatch_span;
   const std::size_t n = requests.size();
   if (n == 0) return {};
   const std::uint64_t batch_base = train_seq_;
@@ -476,10 +523,11 @@ std::vector<std::vector<double>> Coordinator::train_models(
         train.adapter_spec = requests[i].adapter_spec;
         train.iterations = requests[i].iterations;
         train.seed = requests[i].seed;
+        train.parent_span = dispatch_span;
         encode_train_request(out, train);
       },
-      [&](const std::string& body) -> std::size_t {
-        const TrainResult result = decode_train_result(body);
+      [&](std::size_t worker, const std::string& body) -> std::size_t {
+        TrainResult result = decode_train_result(body);
         if (result.train_id < batch_base ||
             result.train_id >= batch_base + n) {
           throw serve::ProtocolError("dist: stray train result");
@@ -490,6 +538,7 @@ std::vector<std::vector<double>> Coordinator::train_models(
         }
         results[i] = result.params;
         done[i] = 1;
+        register_remote_spans(worker, std::move(result.spans));
         return i;
       });
 

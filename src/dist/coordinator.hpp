@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/protocol.hpp"
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "serve/frame.hpp"
@@ -24,6 +25,11 @@ struct Options {
   std::int64_t timeout_ms = 120000;  ///< per-work-unit deadline
   std::int64_t threads_per_worker = 1;
   int max_attempts = 3;  ///< dispatches of one unit before giving up
+  /// Cap on the serialized span batch a worker may piggyback on one result
+  /// frame (--trace-ship-max-bytes / GENET_TRACE_SHIP_MAX_BYTES); a worker
+  /// drops its oldest spans (counted) rather than exceed it. Only consulted
+  /// while tracing is enabled on the coordinator.
+  std::int64_t trace_ship_max_bytes = 1 << 20;
   /// Test hook (GENET_DIST_KILL_AFTER_SEND): SIGKILL worker 0 immediately
   /// after its Nth dispatched work unit, guaranteeing a unit is in flight
   /// when the worker dies so the reassignment path is exercised
@@ -96,18 +102,28 @@ class Coordinator {
   /// train_models: run `n` units to completion over the alive workers.
   /// `encode_unit` appends unit i's frame; `on_result` parses one response
   /// body fully (throwing on any defect, before any caller state mutates)
-  /// and returns the completed unit's index.
+  /// and returns the completed unit's index. `on_result`'s first argument is
+  /// the responding worker's index, so shipped span batches land in the
+  /// right trace lane.
   void run_units(std::size_t n,
                  const std::function<void(std::size_t, std::string&)>&
                      encode_unit,
-                 const std::function<std::size_t(const std::string&)>&
+                 const std::function<std::size_t(std::size_t,
+                                                 const std::string&)>&
                      on_result);
+
+  /// Merge a result frame's piggybacked span batch into the local tracing
+  /// registry under the worker's pid lane, parenting unparented spans to the
+  /// dispatching dist.eval/dist.train span. Observational only.
+  void register_remote_spans(std::size_t worker_index, SpanBatch batch);
 
   Options options_;
   std::vector<WorkerProc> workers_;
   std::int64_t reassigned_ = 0;
   std::uint64_t eval_seq_ = 0;
   std::uint64_t train_seq_ = 0;
+  std::uint64_t trace_id_ = 0;        ///< run-wide trace correlation id
+  std::uint64_t current_parent_ = 0;  ///< span id of the in-flight dispatch
   bool kill_injected_ = false;
   bool hooks_installed_ = false;
 

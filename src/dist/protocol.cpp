@@ -22,6 +22,66 @@ ckpt::Snapshot snapshot_of(std::string_view body, serve::MsgType type,
 
 std::string stream_key(std::size_t i) { return "stream/" + std::to_string(i); }
 
+std::string span_key(const char* field, std::size_t i) {
+  return std::string("span/") + field + "/" + std::to_string(i);
+}
+
+/// Span batches ship as four parallel i64 arrays plus indexed name/cat
+/// strings; wire tids/timestamps are exact i64s (a double would truncate
+/// steady_clock ns above 2^53).
+void put_span_batch(ckpt::Snapshot& snap, const SpanBatch& batch) {
+  const auto n = static_cast<std::int64_t>(batch.spans.size());
+  snap.put_i64("spans/count", n);
+  snap.put_i64("spans/dropped", batch.dropped);
+  if (n == 0) return;
+  std::vector<std::int64_t> tids, starts, durs, indexes;
+  tids.reserve(batch.spans.size());
+  starts.reserve(batch.spans.size());
+  durs.reserve(batch.spans.size());
+  indexes.reserve(batch.spans.size());
+  for (std::size_t i = 0; i < batch.spans.size(); ++i) {
+    const auto& s = batch.spans[i];
+    snap.put_string(span_key("name", i), s.name);
+    snap.put_string(span_key("cat", i), s.cat);
+    tids.push_back(s.tid);
+    starts.push_back(s.start_ns);
+    durs.push_back(s.dur_ns);
+    indexes.push_back(s.index);
+  }
+  snap.put_i64s("spans/tids", std::move(tids));
+  snap.put_i64s("spans/starts", std::move(starts));
+  snap.put_i64s("spans/durs", std::move(durs));
+  snap.put_i64s("spans/indexes", std::move(indexes));
+}
+
+SpanBatch get_span_batch(const ckpt::Snapshot& snap) {
+  SpanBatch batch;
+  const std::int64_t n = snap.get_i64("spans/count");
+  batch.dropped = snap.get_i64("spans/dropped");
+  if (n == 0) return batch;
+  const auto& tids = snap.get_i64s("spans/tids");
+  const auto& starts = snap.get_i64s("spans/starts");
+  const auto& durs = snap.get_i64s("spans/durs");
+  const auto& indexes = snap.get_i64s("spans/indexes");
+  const auto count = static_cast<std::size_t>(n);
+  if (tids.size() != count || starts.size() != count ||
+      durs.size() != count || indexes.size() != count) {
+    throw serve::ProtocolError("dist span batch: array shape mismatch");
+  }
+  batch.spans.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    netgym::tracing::RemoteSpan s;
+    s.name = snap.get_string(span_key("name", i));
+    s.cat = snap.get_string(span_key("cat", i));
+    s.tid = tids[i];
+    s.start_ns = starts[i];
+    s.dur_ns = durs[i];
+    s.index = indexes[i];
+    batch.spans.push_back(std::move(s));
+  }
+  return batch;
+}
+
 }  // namespace
 
 void encode_hello(std::string& out, const Hello& msg) {
@@ -29,6 +89,11 @@ void encode_hello(std::string& out, const Hello& msg) {
   snap.put_i64("version", msg.version);
   snap.put_string("math_mode", msg.math_mode);
   snap.put_i64("threads", msg.threads);
+  snap.put_u64("trace_id", msg.trace_id);
+  snap.put_i64("worker_ordinal", msg.worker_ordinal);
+  snap.put_i64("trace_enabled", msg.trace_enabled);
+  snap.put_i64("trace_capacity", msg.trace_capacity);
+  snap.put_i64("trace_ship_max_bytes", msg.trace_ship_max_bytes);
   append_snapshot_frame(out, serve::MsgType::kDistHello, snap);
 }
 
@@ -39,6 +104,11 @@ Hello decode_hello(std::string_view body) {
   msg.version = snap.get_i64("version");
   msg.math_mode = snap.get_string("math_mode");
   msg.threads = snap.get_i64("threads");
+  msg.trace_id = snap.get_u64("trace_id");
+  msg.worker_ordinal = snap.get_i64("worker_ordinal");
+  msg.trace_enabled = snap.get_i64("trace_enabled");
+  msg.trace_capacity = snap.get_i64("trace_capacity");
+  msg.trace_ship_max_bytes = snap.get_i64("trace_ship_max_bytes");
   return msg;
 }
 
@@ -67,6 +137,7 @@ void encode_eval_setup(std::string& out, const EvalSetup& msg) {
   snap.put_doubles("config", msg.config);
   snap.put_doubles("policy_params", msg.policy_params);
   snap.put_i64("greedy", msg.greedy);
+  snap.put_u64("parent_span", msg.parent_span);
   append_snapshot_frame(out, serve::MsgType::kDistEval, snap);
 }
 
@@ -81,6 +152,7 @@ EvalSetup decode_eval_setup(std::string_view body) {
   msg.config = snap.get_doubles("config");
   msg.policy_params = snap.get_doubles("policy_params");
   msg.greedy = snap.get_i64("greedy");
+  msg.parent_span = snap.get_u64("parent_span");
   return msg;
 }
 
@@ -115,6 +187,7 @@ void encode_items_result(std::string& out, const ItemsResult& msg) {
   snap.put_u64("eval_id", msg.eval_id);
   snap.put_i64("first", msg.first);
   snap.put_doubles("values", msg.values);
+  put_span_batch(snap, msg.spans);
   append_snapshot_frame(out, serve::MsgType::kDistItemsOk, snap);
 }
 
@@ -125,6 +198,7 @@ ItemsResult decode_items_result(std::string_view body) {
   msg.eval_id = snap.get_u64("eval_id");
   msg.first = snap.get_i64("first");
   msg.values = snap.get_doubles("values");
+  msg.spans = get_span_batch(snap);
   return msg;
 }
 
@@ -134,6 +208,7 @@ void encode_train_request(std::string& out, const TrainRequest& msg) {
   snap.put_string("adapter_spec", msg.adapter_spec);
   snap.put_i64("iterations", msg.iterations);
   snap.put_u64("seed", msg.seed);
+  snap.put_u64("parent_span", msg.parent_span);
   append_snapshot_frame(out, serve::MsgType::kDistTrain, snap);
 }
 
@@ -145,6 +220,7 @@ TrainRequest decode_train_request(std::string_view body) {
   msg.adapter_spec = snap.get_string("adapter_spec");
   msg.iterations = snap.get_i64("iterations");
   msg.seed = snap.get_u64("seed");
+  msg.parent_span = snap.get_u64("parent_span");
   return msg;
 }
 
@@ -152,6 +228,7 @@ void encode_train_result(std::string& out, const TrainResult& msg) {
   ckpt::Snapshot snap;
   snap.put_u64("train_id", msg.train_id);
   snap.put_doubles("params", msg.params);
+  put_span_batch(snap, msg.spans);
   append_snapshot_frame(out, serve::MsgType::kDistTrainOk, snap);
 }
 
@@ -161,6 +238,7 @@ TrainResult decode_train_result(std::string_view body) {
   TrainResult msg;
   msg.train_id = snap.get_u64("train_id");
   msg.params = snap.get_doubles("params");
+  msg.spans = get_span_batch(snap);
   return msg;
 }
 

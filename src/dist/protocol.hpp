@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "netgym/tracing.hpp"
 #include "serve/frame.hpp"
 
 namespace dist {
@@ -26,11 +27,19 @@ namespace dist {
 inline constexpr std::int64_t kDistProtocolVersion = 1;
 
 /// Coordinator->worker greeting: pin the numeric environment so a worker
-/// computes exactly what the coordinator would have computed in-process.
+/// computes exactly what the coordinator would have computed in-process,
+/// and carry the trace context (DESIGN.md S5j) -- workers are exec'd before
+/// any env-driven setup, so tracing enablement travels here, never via an
+/// inherited GENET_TRACE.
 struct Hello {
   std::int64_t version = kDistProtocolVersion;
   std::string math_mode;     ///< nn::math_mode_name of the coordinator
   std::int64_t threads = 1;  ///< worker-side netgym thread count
+  std::uint64_t trace_id = 0;        ///< run-wide correlation id
+  std::int64_t worker_ordinal = 0;   ///< coordinator-assigned lane index
+  std::int64_t trace_enabled = 0;    ///< 1 = run the span rings
+  std::int64_t trace_capacity = 0;   ///< per-thread ring capacity (records)
+  std::int64_t trace_ship_max_bytes = 0;  ///< span-batch size cap per result
 };
 
 struct HelloOk {
@@ -48,6 +57,8 @@ struct EvalSetup {
   std::vector<double> config;
   std::vector<double> policy_params;
   std::int64_t greedy = 1;
+  std::uint64_t parent_span = 0;  ///< coordinator span id worker spans nest
+                                  ///< under in the merged trace
 };
 
 /// A chunk of work items: the textual RNG stream states of items
@@ -58,10 +69,21 @@ struct ItemsRequest {
   std::vector<std::string> streams;
 };
 
+/// Serialized span batch piggybacked on result frames (never a second
+/// serializer: the batch rides inside the result's Snapshot blob). `dropped`
+/// counts spans lost worker-side to ring overflow or the ship-size cap.
+struct SpanBatch {
+  std::vector<netgym::tracing::RemoteSpan> spans;
+  std::int64_t dropped = 0;
+
+  bool empty() const { return spans.empty() && dropped == 0; }
+};
+
 struct ItemsResult {
   std::uint64_t eval_id = 0;
   std::int64_t first = 0;
   std::vector<double> values;
+  SpanBatch spans;
 };
 
 struct TrainRequest {
@@ -69,11 +91,13 @@ struct TrainRequest {
   std::string adapter_spec;
   std::int64_t iterations = 0;
   std::uint64_t seed = 1;
+  std::uint64_t parent_span = 0;  ///< see EvalSetup::parent_span
 };
 
 struct TrainResult {
   std::uint64_t train_id = 0;
   std::vector<double> params;
+  SpanBatch spans;
 };
 
 // Encoders append one complete frame (length prefix included) to `out`.

@@ -16,6 +16,7 @@
 #include "netgym/config.hpp"
 #include "netgym/parallel.hpp"
 #include "netgym/rng.hpp"
+#include "netgym/tracing.hpp"
 #include "nn/gemm.hpp"
 #include "rl/policy.hpp"
 #include "rl/trainer.hpp"
@@ -77,7 +78,9 @@ ItemsResult run_items(EvalState& state, const ItemsRequest& request) {
   result.eval_id = request.eval_id;
   result.first = request.first;
   result.values.reserve(request.streams.size());
+  std::int64_t item = request.first;
   for (const std::string& stream : request.streams) {
+    netgym::tracing::TraceSpan span("worker.eval_item", "dist", item++);
     netgym::Rng item_rng;
     item_rng.set_state(stream);
     result.values.push_back(genet::eval_gap_item(
@@ -88,6 +91,8 @@ ItemsResult run_items(EvalState& state, const ItemsRequest& request) {
 }
 
 TrainResult run_train(const TrainRequest& request) {
+  netgym::tracing::TraceSpan span("worker.train", "dist",
+                                  static_cast<std::int64_t>(request.train_id));
   genet::TrainModelRequest model_request;
   model_request.adapter_spec = request.adapter_spec;
   model_request.iterations = static_cast<int>(request.iterations);
@@ -98,12 +103,45 @@ TrainResult run_train(const TrainRequest& request) {
   return result;
 }
 
+/// Drain this worker's span rings into a result-frame batch, dropping the
+/// oldest spans (and counting them) if the encoded batch would exceed the
+/// coordinator's ship-size cap -- backpressure never grows a result frame
+/// without bound.
+SpanBatch collect_spans(std::int64_t max_bytes) {
+  SpanBatch batch;
+  if (!netgym::tracing::enabled()) return batch;
+  auto collected = netgym::tracing::collect_and_reset();
+  batch.dropped = static_cast<std::int64_t>(collected.dropped);
+  batch.spans = std::move(collected.spans);
+  if (max_bytes <= 0) return batch;
+  // Conservative per-span wire estimate: strings hex-encode at 2 bytes per
+  // byte and each span adds four i64 array slots plus key overhead.
+  const auto span_cost = [](const netgym::tracing::RemoteSpan& s) {
+    return 160 + 2 * (s.name.size() + s.cat.size());
+  };
+  std::size_t estimate = 256;
+  for (const auto& s : batch.spans) estimate += span_cost(s);
+  std::size_t drop = 0;
+  while (estimate > static_cast<std::size_t>(max_bytes) &&
+         drop < batch.spans.size()) {
+    estimate -= span_cost(batch.spans[drop]);
+    ++drop;
+  }
+  if (drop > 0) {
+    batch.spans.erase(batch.spans.begin(),
+                      batch.spans.begin() + static_cast<std::ptrdiff_t>(drop));
+    batch.dropped += static_cast<std::int64_t>(drop);
+  }
+  return batch;
+}
+
 }  // namespace
 
 int worker_main(int fd) {
   try {
     serve::FrameReader reader(serve::kMaxDistFrameBytes);
     EvalState state;
+    std::int64_t trace_ship_max_bytes = 0;
     char buf[64 * 1024];
     for (;;) {
       const ssize_t n = ::read(fd, buf, sizeof buf);
@@ -127,6 +165,17 @@ int worker_main(int fd) {
             }
             nn::set_math_mode(nn::parse_math_mode(hello.math_mode));
             netgym::set_num_threads(static_cast<int>(hello.threads));
+            if (hello.trace_enabled != 0) {
+              // Trace context arrives here, never via env: the worker was
+              // exec'd before env-driven setup. Spans collect locally and
+              // ship back piggybacked on result frames.
+              trace_ship_max_bytes = hello.trace_ship_max_bytes;
+              netgym::tracing::start(static_cast<std::size_t>(
+                  hello.trace_capacity > 0
+                      ? hello.trace_capacity
+                      : static_cast<std::int64_t>(
+                            netgym::tracing::kDefaultBufferCapacity)));
+            }
             HelloOk ok;
             ok.pid = static_cast<std::int64_t>(::getpid());
             encode_hello_ok(out, ok);
@@ -135,13 +184,18 @@ int worker_main(int fd) {
           case serve::MsgType::kDistEval:
             apply_eval_setup(state, decode_eval_setup(*body));
             break;
-          case serve::MsgType::kDistItems:
-            encode_items_result(out, run_items(state,
-                                               decode_items_request(*body)));
+          case serve::MsgType::kDistItems: {
+            ItemsResult result = run_items(state, decode_items_request(*body));
+            result.spans = collect_spans(trace_ship_max_bytes);
+            encode_items_result(out, result);
             break;
-          case serve::MsgType::kDistTrain:
-            encode_train_result(out, run_train(decode_train_request(*body)));
+          }
+          case serve::MsgType::kDistTrain: {
+            TrainResult result = run_train(decode_train_request(*body));
+            result.spans = collect_spans(trace_ship_max_bytes);
+            encode_train_result(out, result);
             break;
+          }
           case serve::MsgType::kDistShutdown:
             return 0;
           default:

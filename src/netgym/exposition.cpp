@@ -1,0 +1,201 @@
+#include "netgym/exposition.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace netgym::telemetry {
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use
+/// dots ("serve.phase.forward_s"), so map every illegal character to '_'.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+void append_value(std::string& out, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const char* labels, double v) {
+  out += name;
+  out += labels;
+  out += ' ';
+  append_value(out, v);
+  out += '\n';
+}
+
+void append_summary(std::string& out, const std::string& name,
+                    const Histogram::Snapshot& h) {
+  out += "# TYPE " + name + " summary\n";
+  if (h.count > 0) {
+    append_sample(out, name, "{quantile=\"0.5\"}", h.p50);
+    append_sample(out, name, "{quantile=\"0.9\"}", h.p90);
+    append_sample(out, name, "{quantile=\"0.99\"}", h.p99);
+    append_sample(out, name, "{quantile=\"0.999\"}", h.p999);
+  }
+  append_sample(out, name + "_sum", "", h.count > 0 ? h.sum : 0.0);
+  append_sample(out, name + "_count", "",
+                static_cast<double>(h.count > 0 ? h.count : 0));
+}
+
+}  // namespace
+
+std::string render_prometheus(const std::vector<Registry::Entry>& entries) {
+  std::string out;
+  out.reserve(64 + 128 * entries.size());
+  for (const auto& e : entries) {
+    const std::string name = sanitize_name(e.name);
+    switch (e.kind) {
+      case Registry::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        append_sample(out, name, "", e.value);
+        break;
+      case Registry::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        append_sample(out, name, "", e.value);
+        break;
+      case Registry::Kind::kTimer:
+        // A timer is (total seconds, op count): a quantile-less summary.
+        out += "# TYPE " + name + " summary\n";
+        append_sample(out, name + "_sum", "", e.value);
+        append_sample(out, name + "_count", "",
+                      static_cast<double>(e.count));
+        break;
+      case Registry::Kind::kHistogram:
+        append_summary(out, name, e.hist);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string scrape_prometheus() {
+  return render_prometheus(Registry::instance().snapshot());
+}
+
+void MetricsEndpoint::start(int port) {
+  if (running()) throw std::runtime_error("metrics endpoint already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("metrics endpoint: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost-only, always
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(
+        std::string("metrics endpoint: cannot listen on 127.0.0.1:") +
+        std::to_string(port) + ": " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("metrics endpoint: getsockname() failed");
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(fd);
+    throw std::runtime_error("metrics endpoint: pipe() failed");
+  }
+  fd_ = fd;
+  stop_fd_ = pipe_fds[1];
+  port_ = ntohs(bound.sin_port);
+  const int wake_fd = pipe_fds[0];
+  thread_ = std::thread([this, wake_fd] {
+    serve_loop(wake_fd);
+    ::close(wake_fd);
+  });
+}
+
+void MetricsEndpoint::stop() {
+  if (!running()) return;
+  // Wake the poll() and let the accept loop exit before closing the socket.
+  const char byte = 0;
+  (void)!::write(stop_fd_, &byte, 1);
+  thread_.join();
+  ::close(stop_fd_);
+  ::close(fd_);
+  stop_fd_ = -1;
+  fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsEndpoint::serve_loop(int wake_fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Drain the request head (best-effort: stop at the blank line or once
+    // 4 KiB arrived); the response is the same regardless of path or verb.
+    char buf[4096];
+    std::size_t got = 0;
+    while (got < sizeof(buf)) {
+      const ssize_t n = ::read(conn, buf + got, sizeof(buf) - got);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+      if (std::string_view(buf, got).find("\r\n\r\n") !=
+          std::string_view::npos) {
+        break;
+      }
+    }
+    const std::string body = scrape_prometheus();
+    std::string resp =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < resp.size()) {
+      const ssize_t n = ::write(conn, resp.data() + sent, resp.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace netgym::telemetry

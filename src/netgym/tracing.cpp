@@ -1,11 +1,15 @@
 #include "netgym/tracing.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "netgym/telemetry.hpp"
@@ -68,6 +72,16 @@ class SpanBuffer {
   std::atomic<std::uint64_t> written_{0};
 };
 
+/// One remote process's lane in the merged trace: the pid it reported plus
+/// the spans shipped from it, in arrival order (per remote thread that is
+/// completion order: rings push at span end and batches arrive in dispatch
+/// order over one FIFO socket).
+struct RemoteLane {
+  std::int64_t pid = 0;
+  std::string label;
+  std::vector<RemoteSpan> spans;
+};
+
 struct TraceRegistry {
   std::mutex mu;
   // Buffers live for the process lifetime (worker threads may die before the
@@ -76,6 +90,7 @@ struct TraceRegistry {
   std::vector<std::unique_ptr<SpanBuffer>> buffers;
   std::size_t capacity = kDefaultBufferCapacity;
   std::int64_t start_ns = 0;
+  std::vector<RemoteLane> remote;  ///< keyed by (pid, label), append order
 };
 
 TraceRegistry& registry() {
@@ -110,11 +125,64 @@ void start(std::size_t buffer_capacity) {
   std::lock_guard<std::mutex> lock(r.mu);
   r.capacity = buffer_capacity;
   for (auto& buffer : r.buffers) buffer->reset(buffer_capacity);
+  r.remote.clear();
   r.start_ns = now_ns();
   detail::g_enabled.store(true, std::memory_order_relaxed);
 }
 
 void stop() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> g_next{1};
+  return g_next.fetch_add(1, std::memory_order_relaxed);
+}
+
+CollectedSpans collect_and_reset() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  CollectedSpans out;
+  for (auto& buffer : r.buffers) {
+    out.dropped += buffer->dropped();
+    for (const SpanRecord& rec : buffer->collect()) {
+      RemoteSpan span;
+      span.name = rec.name != nullptr ? rec.name : "span";
+      span.cat = rec.cat != nullptr ? rec.cat : "task";
+      span.tid = static_cast<std::int64_t>(buffer->tid());
+      span.start_ns = rec.start_ns;
+      span.dur_ns = rec.dur_ns;
+      span.index = rec.index;
+      span.span_id = rec.span_id;
+      span.parent_id = rec.parent_id;
+      out.spans.push_back(std::move(span));
+    }
+    buffer->reset(r.capacity);
+  }
+  return out;
+}
+
+void add_remote_spans(std::int64_t pid, const std::string& label,
+                      std::vector<RemoteSpan> spans) {
+  if (spans.empty()) return;
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& lane : r.remote) {
+    if (lane.pid == pid && lane.label == label) {
+      lane.spans.insert(lane.spans.end(),
+                        std::make_move_iterator(spans.begin()),
+                        std::make_move_iterator(spans.end()));
+      return;
+    }
+  }
+  r.remote.push_back(RemoteLane{pid, label, std::move(spans)});
+}
+
+std::uint64_t remote_span_count() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& lane : r.remote) total += lane.spans.size();
+  return total;
+}
 
 std::uint64_t dropped_spans() {
   TraceRegistry& r = registry();
@@ -132,6 +200,57 @@ std::uint64_t recorded_spans() {
   return total;
 }
 
+namespace {
+
+/// Append the optional args object ({"index":..,"span_id":..,"parent":..})
+/// shared by local and remote span events. Emits nothing when no arg is set.
+void append_span_args(std::string& line, std::int64_t index,
+                      std::uint64_t span_id, std::uint64_t parent_id) {
+  if (index < 0 && span_id == 0 && parent_id == 0) return;
+  char buf[96];
+  line += ",\"args\":{";
+  bool first = true;
+  if (index >= 0) {
+    std::snprintf(buf, sizeof(buf), "\"index\":%lld",
+                  static_cast<long long>(index));
+    line += buf;
+    first = false;
+  }
+  if (span_id != 0) {
+    std::snprintf(buf, sizeof(buf), "%s\"span_id\":%llu", first ? "" : ",",
+                  static_cast<unsigned long long>(span_id));
+    line += buf;
+    first = false;
+  }
+  if (parent_id != 0) {
+    std::snprintf(buf, sizeof(buf), "%s\"parent\":%llu", first ? "" : ",",
+                  static_cast<unsigned long long>(parent_id));
+    line += buf;
+  }
+  line += '}';
+}
+
+void append_meta(std::vector<std::string>& events, std::int64_t pid,
+                 const char* meta_name, std::int64_t tid,
+                 const std::string& value) {
+  char buf[96];
+  std::string meta = "{\"ph\":\"M\"";
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%lld,\"name\":\"%s\"",
+                static_cast<long long>(pid), meta_name);
+  meta += buf;
+  if (tid >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"tid\":%lld",
+                  static_cast<long long>(tid));
+    meta += buf;
+  }
+  meta += ",\"args\":{\"name\":";
+  telemetry::json::append_string(meta, value);
+  meta += "}}";
+  events.push_back(std::move(meta));
+}
+
+}  // namespace
+
 std::uint64_t write_chrome_trace(const std::string& path) {
   TraceRegistry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -142,20 +261,22 @@ std::uint64_t write_chrome_trace(const std::string& path) {
   }
 
   // One event per line keeps the file trivially greppable and line-parseable
-  // while staying a single valid JSON document.
+  // while staying a single valid JSON document. Each process gets its own
+  // pid lane: the local process under its real pid, every remote lane under
+  // the pid it reported in its hello.
+  const auto local_pid = static_cast<std::int64_t>(::getpid());
   std::vector<std::string> events;
   std::uint64_t span_events = 0;
   char buf[160];
+  append_meta(events, local_pid, "process_name", -1, "genet");
   for (const auto& buffer : r.buffers) {
-    std::string meta = "{\"ph\":\"M\",\"pid\":1,\"name\":\"thread_name\"";
-    std::snprintf(buf, sizeof(buf),
-                  ",\"tid\":%u,\"args\":{\"name\":\"thread-%u\"}}",
-                  buffer->tid(), buffer->tid());
-    meta += buf;
-    events.push_back(std::move(meta));
+    append_meta(events, local_pid, "thread_name",
+                static_cast<std::int64_t>(buffer->tid()),
+                "thread-" + std::to_string(buffer->tid()));
     for (const SpanRecord& rec : buffer->collect()) {
-      std::string line = "{\"ph\":\"X\",\"pid\":1";
-      std::snprintf(buf, sizeof(buf), ",\"tid\":%u,\"name\":", buffer->tid());
+      std::string line = "{\"ph\":\"X\"";
+      std::snprintf(buf, sizeof(buf), ",\"pid\":%lld,\"tid\":%u,\"name\":",
+                    static_cast<long long>(local_pid), buffer->tid());
       line += buf;
       telemetry::json::append_string(line, rec.name != nullptr ? rec.name
                                                                : "span");
@@ -168,11 +289,35 @@ std::uint64_t write_chrome_trace(const std::string& path) {
                     static_cast<double>(rec.start_ns - r.start_ns) * 1e-3,
                     static_cast<double>(rec.dur_ns) * 1e-3);
       line += buf;
-      if (rec.index >= 0) {
-        std::snprintf(buf, sizeof(buf), ",\"args\":{\"index\":%lld}",
-                      static_cast<long long>(rec.index));
-        line += buf;
+      append_span_args(line, rec.index, rec.span_id, rec.parent_id);
+      line += '}';
+      events.push_back(std::move(line));
+      ++span_events;
+    }
+  }
+  for (const auto& lane : r.remote) {
+    append_meta(events, lane.pid, "process_name", -1, lane.label);
+    std::vector<std::int64_t> named_tids;
+    for (const RemoteSpan& rec : lane.spans) {
+      if (std::find(named_tids.begin(), named_tids.end(), rec.tid) ==
+          named_tids.end()) {
+        named_tids.push_back(rec.tid);
+        append_meta(events, lane.pid, "thread_name", rec.tid,
+                    lane.label + "-thread-" + std::to_string(rec.tid));
       }
+      std::string line = "{\"ph\":\"X\"";
+      std::snprintf(buf, sizeof(buf), ",\"pid\":%lld,\"tid\":%lld,\"name\":",
+                    static_cast<long long>(lane.pid),
+                    static_cast<long long>(rec.tid));
+      line += buf;
+      telemetry::json::append_string(line, rec.name);
+      line += ",\"cat\":";
+      telemetry::json::append_string(line, rec.cat);
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(rec.start_ns - r.start_ns) * 1e-3,
+                    static_cast<double>(rec.dur_ns) * 1e-3);
+      line += buf;
+      append_span_args(line, rec.index, rec.span_id, rec.parent_id);
       line += '}';
       events.push_back(std::move(line));
       ++span_events;

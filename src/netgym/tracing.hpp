@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace netgym::tracing {
 
@@ -39,6 +40,24 @@ struct SpanRecord {
   std::int64_t start_ns = 0;  ///< steady_clock, relative to process start
   std::int64_t dur_ns = 0;
   std::int64_t index = -1;  ///< item/round/trial index; -1 = none
+  std::uint64_t span_id = 0;    ///< cross-process correlation id; 0 = none
+  std::uint64_t parent_id = 0;  ///< span_id of the logical parent; 0 = none
+};
+
+/// A span collected from (or destined for) another process: same shape as
+/// SpanRecord but with owned strings (a remote process's string literals do
+/// not survive the trip) and an explicit thread id.
+struct RemoteSpan {
+  std::string name;
+  std::string cat;
+  std::int64_t tid = 0;
+  std::int64_t start_ns = 0;  ///< absolute steady_clock ns (CLOCK_MONOTONIC
+                              ///< is system-wide on Linux, so directly
+                              ///< comparable across processes)
+  std::int64_t dur_ns = 0;
+  std::int64_t index = -1;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
 };
 
 inline std::int64_t now_ns() {
@@ -66,10 +85,14 @@ void start(std::size_t buffer_capacity = kDefaultBufferCapacity);
 /// Stop collecting; already-collected spans stay flushable. Serial only.
 void stop();
 
-/// Write every thread's collected spans as Chrome trace-event JSON (one event
-/// per line inside `traceEvents`; "X" complete events plus "M" thread-name
-/// metadata). Returns the number of span events written; throws
-/// std::runtime_error if the file cannot be opened. Serial sections only.
+/// Write every thread's collected spans -- plus any remote spans registered
+/// via add_remote_spans -- as Chrome trace-event JSON (one event per line
+/// inside `traceEvents`; "X" complete events plus "M" process-name and
+/// thread-name metadata). Each process gets its own `pid` lane (the local
+/// process uses its real pid), so a merged multi-process trace renders as
+/// one timeline per process in Perfetto. Returns the number of span events
+/// written; throws std::runtime_error if the file cannot be opened. Serial
+/// sections only.
 std::uint64_t write_chrome_trace(const std::string& path);
 
 /// Spans lost to ring overflow across all threads since the last start().
@@ -78,6 +101,31 @@ std::uint64_t dropped_spans();
 /// Spans currently held in the rings (i.e. what write_chrome_trace would
 /// emit), across all threads.
 std::uint64_t recorded_spans();
+
+/// Monotonically increasing span id for cross-process parent/child links
+/// (never returns 0, the "no id" sentinel). Safe from any thread.
+std::uint64_t next_span_id();
+
+/// Drain every thread's ring into owned copies (tid filled in, absolute
+/// timestamps preserved) and reset the rings, accumulating overflow drops
+/// into `dropped`. The shipping side of distributed trace propagation
+/// (DESIGN.md S5j): workers call this after each work unit and piggyback the
+/// batch on the result frame. Serial sections only.
+struct CollectedSpans {
+  std::vector<RemoteSpan> spans;
+  std::uint64_t dropped = 0;
+};
+CollectedSpans collect_and_reset();
+
+/// Register spans shipped from another process under a `pid` lane labelled
+/// `label` (e.g. "worker-2"). write_chrome_trace emits them alongside the
+/// local process's spans, giving one merged multi-process trace file.
+/// Cleared by start(). Safe from any thread.
+void add_remote_spans(std::int64_t pid, const std::string& label,
+                      std::vector<RemoteSpan> spans);
+
+/// Remote spans currently registered for the merged flush.
+std::uint64_t remote_span_count();
 
 /// start() now and register an atexit hook writing to `path`, so mains need
 /// no explicit teardown path (benches, the CLI).
@@ -93,9 +141,10 @@ bool install_from_env();
 /// which start and finish at different ticks of a shared loop — and so
 /// cannot scope an RAII TraceSpan per region. No-op while tracing is off.
 inline void emit_span(const char* name, const char* cat, std::int64_t start_ns,
-                      std::int64_t dur_ns, std::int64_t index = -1) {
+                      std::int64_t dur_ns, std::int64_t index = -1,
+                      std::uint64_t span_id = 0, std::uint64_t parent_id = 0) {
   if (!enabled()) return;
-  detail::emit({name, cat, start_ns, dur_ns, index});
+  detail::emit({name, cat, start_ns, dur_ns, index, span_id, parent_id});
 }
 
 /// RAII span. Records [construction, destruction) of the enclosing scope
@@ -106,8 +155,12 @@ inline void emit_span(const char* name, const char* cat, std::int64_t start_ns,
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* cat = "task",
-                     std::int64_t index = -1)
-      : name_(name), cat_(cat), index_(index), active_(enabled()) {
+                     std::int64_t index = -1, std::uint64_t span_id = 0)
+      : name_(name),
+        cat_(cat),
+        index_(index),
+        span_id_(span_id),
+        active_(enabled()) {
     if (active_) start_ns_ = now_ns();
   }
   ~TraceSpan() { end(); }
@@ -118,7 +171,8 @@ class TraceSpan {
     if (!active_) return;
     active_ = false;
     if (!enabled()) return;
-    detail::emit({name_, cat_, start_ns_, now_ns() - start_ns_, index_});
+    detail::emit(
+        {name_, cat_, start_ns_, now_ns() - start_ns_, index_, span_id_, 0});
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -128,6 +182,7 @@ class TraceSpan {
   const char* name_;
   const char* cat_;
   std::int64_t index_;
+  std::uint64_t span_id_;
   bool active_;
   std::int64_t start_ns_ = 0;
 };

@@ -278,6 +278,17 @@ void Server::shard_loop(Shard& shard) {
   telemetry::Counter& rejects = reg.counter("serve.rejected_requests");
   telemetry::Histogram& latency = reg.histogram("serve.request_s");
   telemetry::Histogram& batch_size = reg.histogram("serve.batch_size");
+  // Per-request latency attribution (DESIGN.md S5j): the end-to-end time of
+  // every acted request splits exactly into queue wait (arrival -> drained
+  // from the shard queue), batch formation (drained -> forward start),
+  // forward (the fused act_batch call), and write-back (forward end -> the
+  // response handed to the socket). The four phase durations sum to
+  // serve.phase.total_s per request by construction.
+  telemetry::Histogram& phase_queue = reg.histogram("serve.phase.queue_s");
+  telemetry::Histogram& phase_batch = reg.histogram("serve.phase.batch_s");
+  telemetry::Histogram& phase_forward = reg.histogram("serve.phase.forward_s");
+  telemetry::Histogram& phase_write = reg.histogram("serve.phase.write_s");
+  telemetry::Histogram& phase_total = reg.histogram("serve.phase.total_s");
 
   // act_batch samples through an Rng stream per row; greedy serving ignores
   // the draw, but the signature still wants valid pointers.
@@ -315,6 +326,9 @@ void Server::shard_loop(Shard& shard) {
         shard.queue.pop_front();
       }
     }
+    // One drain timestamp covers the whole batch: everything queued behind
+    // it left the shard queue at this instant.
+    const auto drained = std::chrono::steady_clock::now();
 
     // Refresh this shard's executable policy if a hot swap landed.
     const auto current = store_.current();
@@ -353,11 +367,16 @@ void Server::shard_loop(Shard& shard) {
       const std::size_t n = acts.size();
       rngs.assign(n, &greedy_rng);
       actions.resize(n);
+      const auto forward_start = std::chrono::steady_clock::now();
       policy->act_batch(rows.data(), n, rngs.data(), actions.data());
+      const auto forward_end = std::chrono::steady_clock::now();
       batches.add();
       batch_size.record(static_cast<double>(n));
+      const double forward_s =
+          std::chrono::duration<double>(forward_end - forward_start).count();
+      const double batch_s =
+          std::chrono::duration<double>(forward_start - drained).count();
 
-      const auto now = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < n; ++i) {
         Pending& item = *acts[i];
         SessionState& session = shard.sessions[item.session_id];
@@ -373,9 +392,18 @@ void Server::shard_loop(Shard& shard) {
         encode_act_ok(out, resp);
         send_all(*item.conn, out);
 
+        const auto done = std::chrono::steady_clock::now();
         requests.add();
         latency.record(
-            std::chrono::duration<double>(now - item.arrival).count());
+            std::chrono::duration<double>(forward_end - item.arrival).count());
+        phase_queue.record(
+            std::chrono::duration<double>(drained - item.arrival).count());
+        phase_batch.record(batch_s);
+        phase_forward.record(forward_s);
+        phase_write.record(
+            std::chrono::duration<double>(done - forward_end).count());
+        phase_total.record(
+            std::chrono::duration<double>(done - item.arrival).count());
       }
     }
   }

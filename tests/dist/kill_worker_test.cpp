@@ -23,6 +23,8 @@
 #include "genet/zoo.hpp"
 #include "netgym/checkpoint.hpp"
 #include "netgym/parallel.hpp"
+#include "netgym/telemetry.hpp"
+#include "netgym/tracing.hpp"
 
 namespace {
 
@@ -55,7 +57,10 @@ std::string run_curriculum_bytes() {
   genet::CurriculumTrainer trainer(
       adapter, std::make_unique<genet::GenetScheme>("llf", search), options);
   trainer.run();
-  const std::string path = ::testing::TempDir() + "dist_kill_curriculum.ckpt";
+  // Pid-unique: every DistKillWorker test calls this, and ctest runs them
+  // as concurrent processes sharing one temp dir.
+  const std::string path = ::testing::TempDir() + "dist_kill_curriculum_" +
+                           std::to_string(::getpid()) + ".ckpt";
   trainer.save_checkpoint(path);
   std::ifstream in(path, std::ios::binary);
   std::string bytes(std::istreambuf_iterator<char>(in),
@@ -138,6 +143,60 @@ TEST(DistKillWorker, ZooBatchTrainingOnWorkersMatchesLocal) {
     EXPECT_TRUE(zoo.contains(spec.key));
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(DistKillWorker, TracedRunWithKillIsByteIdenticalAndTraceStaysValid) {
+  // Distributed trace propagation under worker death (DESIGN.md S5j): with
+  // tracing on and worker 0 SIGKILLed mid-round, (a) training state is still
+  // byte-identical to the untraced in-process run -- span shipping is purely
+  // observational; (b) the surviving workers' spans land in the merged
+  // registry; (c) the dead worker's unshipped spans are counted as a lost
+  // batch, never written as a corrupt trace; (d) the merged Chrome trace
+  // flushes and names the worker lanes.
+  PoolGuard guard;
+  netgym::set_num_threads(1);
+  const std::string expected = run_curriculum_bytes();
+
+  netgym::tracing::start();
+  dist::Options options = worker_options(4);
+  options.kill_worker0_after_sends = 1;
+  std::string distributed;
+  std::int64_t reassigned = 0;
+  {
+    dist::Coordinator coordinator(options);
+    coordinator.install_hooks();
+    distributed = run_curriculum_bytes();
+    EXPECT_EQ(coordinator.alive_workers(), 3) << "worker 0 should be dead";
+    reassigned = coordinator.reassignments();
+  }
+  EXPECT_EQ(distributed, expected)
+      << "tracing + kill must not change a single byte of training state";
+  EXPECT_GE(reassigned, 1);
+  EXPECT_GT(netgym::tracing::remote_span_count(), 0u)
+      << "surviving workers' spans must have shipped back";
+
+  double batches_lost = 0.0;
+  double spans_shipped = 0.0;
+  for (const auto& entry :
+       netgym::telemetry::Registry::instance().snapshot()) {
+    if (entry.name == "dist.trace_batches_lost") batches_lost = entry.value;
+    if (entry.name == "dist.trace_spans_shipped") spans_shipped = entry.value;
+  }
+  EXPECT_GE(batches_lost, 1.0)
+      << "the killed worker's unshipped spans must be counted as lost";
+  EXPECT_GE(spans_shipped, 1.0);
+
+  const std::string path = ::testing::TempDir() + "dist_kill_trace.json";
+  EXPECT_GT(netgym::tracing::write_chrome_trace(path), 0u);
+  netgym::tracing::stop();
+  std::ifstream in(path, std::ios::binary);
+  const std::string trace(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>{});
+  std::remove(path.c_str());
+  EXPECT_NE(trace.find("\"worker-"), std::string::npos)
+      << "merged trace must carry worker process lanes";
+  EXPECT_NE(trace.find("dist.eval"), std::string::npos);
+  EXPECT_NE(trace.find("worker.eval_item"), std::string::npos);
 }
 
 TEST(DistKillWorker, UnitFailingEveryAttemptIsFatalNotSilent) {

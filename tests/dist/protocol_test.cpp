@@ -17,6 +17,7 @@
 
 #include "netgym/checkpoint.hpp"
 #include "netgym/rng.hpp"
+#include "netgym/tracing.hpp"
 #include "serve/frame.hpp"
 
 namespace {
@@ -48,6 +49,11 @@ TEST(DistProtocol, HelloRoundtripsAllFields) {
   dist::Hello hello;
   hello.math_mode = "fast";
   hello.threads = 7;
+  hello.trace_id = 0xFEDCBA9876543210ull;  // exercises the full u64 range
+  hello.worker_ordinal = 3;
+  hello.trace_enabled = 1;
+  hello.trace_capacity = 8192;
+  hello.trace_ship_max_bytes = 65536;
   std::string out;
   dist::encode_hello(out, hello);
   serve::FrameReader reader(serve::kMaxDistFrameBytes);
@@ -59,6 +65,11 @@ TEST(DistProtocol, HelloRoundtripsAllFields) {
   EXPECT_EQ(back.version, dist::kDistProtocolVersion);
   EXPECT_EQ(back.math_mode, "fast");
   EXPECT_EQ(back.threads, 7);
+  EXPECT_EQ(back.trace_id, 0xFEDCBA9876543210ull);
+  EXPECT_EQ(back.worker_ordinal, 3);
+  EXPECT_EQ(back.trace_enabled, 1);
+  EXPECT_EQ(back.trace_capacity, 8192);
+  EXPECT_EQ(back.trace_ship_max_bytes, 65536);
 }
 
 TEST(DistProtocol, EvalSetupPreservesExactDoubleBits) {
@@ -126,6 +137,17 @@ TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
   values.eval_id = 8;
   values.first = 2;
   values.values = {-0.0, 0.125};
+  // Piggybacked span with a steady-clock ns start above 2^53: the wire must
+  // carry it exactly (a double encoding would truncate the low bits).
+  netgym::tracing::RemoteSpan span;
+  span.name = "worker.eval_item";
+  span.cat = "dist";
+  span.tid = 2;
+  span.start_ns = (1ll << 53) + 1;
+  span.dur_ns = 777;
+  span.index = 2;
+  values.spans.spans = {span};
+  values.spans.dropped = 4;
   std::string out;
   dist::encode_items_result(out, values);
 
@@ -134,6 +156,7 @@ TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
   train.adapter_spec = "cc/1";
   train.iterations = 77;
   train.seed = 5;
+  train.parent_span = 0x8000000000000001ull;
   dist::encode_train_request(out, train);
 
   dist::TrainResult trained;
@@ -149,18 +172,55 @@ TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
   EXPECT_EQ(v.first, 2);
   ASSERT_EQ(v.values.size(), 2u);
   EXPECT_TRUE(same_bits(v.values[0], -0.0));
+  ASSERT_EQ(v.spans.spans.size(), 1u);
+  EXPECT_EQ(v.spans.spans[0].name, "worker.eval_item");
+  EXPECT_EQ(v.spans.spans[0].cat, "dist");
+  EXPECT_EQ(v.spans.spans[0].tid, 2);
+  EXPECT_EQ(v.spans.spans[0].start_ns, (1ll << 53) + 1);
+  EXPECT_EQ(v.spans.spans[0].dur_ns, 777);
+  EXPECT_EQ(v.spans.spans[0].index, 2);
+  EXPECT_EQ(v.spans.dropped, 4);
   const dist::TrainRequest t = dist::decode_train_request(*reader.next());
   EXPECT_EQ(t.train_id, 3u);
   EXPECT_EQ(t.adapter_spec, "cc/1");
   EXPECT_EQ(t.iterations, 77);
   EXPECT_EQ(t.seed, 5u);
+  EXPECT_EQ(t.parent_span, 0x8000000000000001ull);
   const dist::TrainResult r = dist::decode_train_result(*reader.next());
   EXPECT_EQ(r.train_id, 3u);
   EXPECT_EQ(r.params, (std::vector<double>{9.5, -0.5}));
+  EXPECT_TRUE(r.spans.empty());
   const auto shutdown = reader.next();
   ASSERT_TRUE(shutdown.has_value());
   EXPECT_EQ(serve::type_of(*shutdown), serve::MsgType::kDistShutdown);
   EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(DistProtocol, SpanBatchArrayShapeMismatchRejected) {
+  // A frame claiming 2 spans but shipping 1-element arrays must be rejected
+  // as a whole: decoders never hand back a partially consistent batch.
+  netgym::checkpoint::Snapshot snap;
+  snap.put_u64("eval_id", 1);
+  snap.put_i64("first", 0);
+  snap.put_doubles("values", {1.0});
+  snap.put_i64("spans/count", 2);
+  snap.put_i64("spans/dropped", 0);
+  snap.put_string("span/name/0", "a");
+  snap.put_string("span/cat/0", "b");
+  snap.put_string("span/name/1", "c");
+  snap.put_string("span/cat/1", "d");
+  snap.put_i64s("spans/tids", {0});  // 1 element, count says 2
+  snap.put_i64s("spans/starts", {0, 0});
+  snap.put_i64s("spans/durs", {0, 0});
+  snap.put_i64s("spans/indexes", {0, 0});
+  std::string out;
+  serve::encode_payload_frame(out, serve::MsgType::kDistItemsOk,
+                              netgym::checkpoint::encode_file_bytes(snap),
+                              serve::kMaxDistFrameBytes);
+  serve::FrameReader reader(serve::kMaxDistFrameBytes);
+  reader.feed(out.data(), out.size());
+  EXPECT_THROW(dist::decode_items_result(*reader.next()),
+               serve::ProtocolError);
 }
 
 TEST(DistProtocol, ByteAtATimeReassemblyOfFrameBeyondServeCap) {
@@ -281,6 +341,11 @@ TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
   EXPECT_EQ(hello.version, 1);
   EXPECT_EQ(hello.math_mode, "strict");
   EXPECT_EQ(hello.threads, 2);
+  EXPECT_EQ(hello.trace_id, 987654321098765ull);
+  EXPECT_EQ(hello.worker_ordinal, 1);
+  EXPECT_EQ(hello.trace_enabled, 1);
+  EXPECT_EQ(hello.trace_capacity, 4096);
+  EXPECT_EQ(hello.trace_ship_max_bytes, 1048576);
   const dist::HelloOk hello_ok = dist::decode_hello_ok(bodies[1]);
   EXPECT_EQ(hello_ok.pid, 4242);
   const dist::EvalSetup setup = dist::decode_eval_setup(bodies[2]);
@@ -288,6 +353,7 @@ TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
   EXPECT_EQ(setup.adapter_spec, "lb/1");
   EXPECT_EQ(setup.kind, "baseline");
   EXPECT_EQ(setup.baseline, "llf");
+  EXPECT_EQ(setup.parent_span, 55u);
   ASSERT_EQ(setup.config.size(), 4u);
   EXPECT_TRUE(same_bits(setup.config[1], -0.0));
   EXPECT_TRUE(same_bits(setup.config[3],
@@ -301,12 +367,23 @@ TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
   const dist::ItemsResult values = dist::decode_items_result(bodies[4]);
   ASSERT_EQ(values.values.size(), 2u);
   EXPECT_TRUE(same_bits(values.values[1], 3.141592653589793));
+  ASSERT_EQ(values.spans.spans.size(), 2u);
+  EXPECT_EQ(values.spans.spans[0].name, "worker.eval_item");
+  EXPECT_EQ(values.spans.spans[0].start_ns, 9123456789012345678ll);
+  EXPECT_EQ(values.spans.spans[0].dur_ns, 250000);
+  EXPECT_EQ(values.spans.spans[0].index, 3);
+  EXPECT_EQ(values.spans.spans[1].tid, 1);
+  EXPECT_EQ(values.spans.spans[1].start_ns, 9123456789012595678ll);
+  EXPECT_EQ(values.spans.dropped, 1);
   const dist::TrainRequest train = dist::decode_train_request(bodies[5]);
   EXPECT_EQ(train.adapter_spec, "cc/2");
   EXPECT_EQ(train.iterations, 120);
   EXPECT_EQ(train.seed, 11u);
+  EXPECT_EQ(train.parent_span, 55u);
   const dist::TrainResult trained = dist::decode_train_result(bodies[6]);
   EXPECT_EQ(trained.params, (std::vector<double>{0.0, -0.5, 6.0}));
+  EXPECT_TRUE(trained.spans.spans.empty());
+  EXPECT_EQ(trained.spans.dropped, 2);
   EXPECT_EQ(serve::type_of(bodies[7]), serve::MsgType::kDistShutdown);
 
   std::string reencoded;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -211,7 +213,11 @@ TEST(ResumeDeterminism, SelfPlaySchemeStateSurvivesResume) {
 class CheckpointRejection : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "rejection.ckpt";
+    // Pid-unique path: ctest runs each test of this fixture as its own
+    // process, concurrently under -j, and a shared literal name makes one
+    // test's TearDown unlink the file another is still reading.
+    path_ = ::testing::TempDir() + "rejection_" +
+            std::to_string(::getpid()) + ".ckpt";
     run_.trainer->run_round();
     run_.trainer->save_checkpoint(path_);
   }

@@ -33,6 +33,7 @@
 #include "genet/adapter.hpp"
 #include "genet/curriculum.hpp"
 #include "netgym/checkpoint.hpp"
+#include "netgym/exposition.hpp"
 #include "netgym/flight.hpp"
 #include "netgym/health.hpp"
 #include "netgym/parallel.hpp"
@@ -64,6 +65,11 @@ commands:
             across worker crashes (dead workers' work is reassigned).
             --dist-timeout-ms (env: GENET_DIST_TIMEOUT_MS, default 120000)
             is the per-work-unit deadline before a worker is declared dead.
+          [--trace-ship-max-bytes N]
+            cap on the span batch a worker piggybacks on one result frame
+            when tracing is enabled (env: GENET_TRACE_SHIP_MAX_BYTES,
+            default 1048576, range 4096..8388608); a worker drops its
+            oldest spans (counted) rather than exceed it.
           [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
             crash-safe snapshots: with --checkpoint-dir (default: the
             GENET_CHECKPOINT_DIR env var), training writes DIR/latest.ckpt
@@ -128,6 +134,13 @@ every command also accepts:
                   non-finite value (env: GENET_HEALTH_FAIL_FAST=1).
   --metrics-out F dump the final metrics table (counters, timers, histogram
                   p50/p90/p99/max) to F; '-' writes to stdout.
+  --metrics-port P
+                  serve a live Prometheus text-exposition scrape of the
+                  metrics registry on 127.0.0.1:P for the duration of the
+                  run (0 picks an ephemeral port, printed on stdout);
+                  defaults to the GENET_METRICS_PORT env var when set.
+                  Read-only and localhost-only; results are bit-identical
+                  with it on or off.
 )");
   std::exit(2);
 }
@@ -284,6 +297,13 @@ int cmd_train(const Options& options) {
     dist_timeout_ms = netgym::parse_i64_in_range(
         "--dist-timeout-ms", options.at("dist-timeout-ms"), 1, 86400000);
   }
+  std::int64_t trace_ship_max_bytes = netgym::env_i64(
+      "GENET_TRACE_SHIP_MAX_BYTES", 1 << 20, 4096, 8 << 20);
+  if (options.count("trace-ship-max-bytes") != 0U) {
+    trace_ship_max_bytes = netgym::parse_i64_in_range(
+        "--trace-ship-max-bytes", options.at("trace-ship-max-bytes"), 4096,
+        8 << 20);
+  }
   std::unique_ptr<dist::Coordinator> coordinator;
   if (workers > 0) {
     dist::Options dopts;
@@ -292,6 +312,7 @@ int cmd_train(const Options& options) {
         std::filesystem::read_symlink("/proc/self/exe").string();
     dopts.worker_args = {"dist-worker"};
     dopts.timeout_ms = dist_timeout_ms;
+    dopts.trace_ship_max_bytes = trace_ship_max_bytes;
     dopts.kill_worker0_after_sends = static_cast<int>(netgym::env_i64(
         "GENET_DIST_KILL_AFTER_SEND", -1, -1, 1 << 20));
     coordinator = std::make_unique<dist::Coordinator>(dopts);
@@ -629,6 +650,22 @@ int main(int argc, char** argv) {
       netgym::tracing::install(options.at("trace-out"));
     } else {
       netgym::tracing::install_from_env();  // GENET_TRACE
+    }
+    // Live metrics exposition (DESIGN.md S5j): read-only, localhost-only,
+    // strictly observational. Same strict-parse contract as every knob:
+    // the env var configures jobs globally, the flag overrides per run,
+    // garbage in either fails loudly naming the knob (pinned by ctest).
+    netgym::telemetry::MetricsEndpoint metrics_endpoint;
+    long long metrics_port = netgym::env_i64("GENET_METRICS_PORT", -1, 0,
+                                             65535);
+    if (options.count("metrics-port") != 0U) {
+      metrics_port = netgym::parse_i64_in_range(
+          "--metrics-port", options.at("metrics-port"), 0, 65535);
+    }
+    if (metrics_port >= 0) {
+      metrics_endpoint.start(static_cast<int>(metrics_port));
+      std::printf("metrics: listening on 127.0.0.1:%d\n",
+                  metrics_endpoint.port());
     }
     if (options.count("flight-out") != 0U) {
       netgym::flight::install(options.at("flight-out"),

@@ -19,6 +19,7 @@
 #include <string>
 #include <thread>
 
+#include "netgym/exposition.hpp"
 #include "netgym/parse.hpp"
 #include "netgym/telemetry.hpp"
 #include "serve/server.hpp"
@@ -54,6 +55,13 @@ observability:
   --metrics-interval-s N
                       emit a serve_metrics snapshot every N seconds (0 off)
   --metrics-out FILE  dump the final metrics table on shutdown ('-' = stdout)
+  --metrics-port N    serve a live Prometheus text-exposition scrape of the
+                      metrics registry on 127.0.0.1:N (0 picks an ephemeral
+                      port; read-only, localhost-only); defaults to the
+                      GENET_METRICS_PORT env var when set
+  --metrics-port-file FILE
+                      write the actual metrics TCP port to FILE (for
+                      harnesses that pass --metrics-port 0)
 
 lifecycle:
   --max-seconds N     exit cleanly after N seconds (0 = run until signalled;
@@ -137,6 +145,30 @@ int main(int argc, char** argv) {
     }
     const auto policy = server.store().current();
     server.start();
+
+    // Live metrics exposition (DESIGN.md S5j): read-only, localhost-only.
+    // Same strict-parse contract as the other knobs: garbage in the flag or
+    // the env var fails loudly naming the knob.
+    netgym::telemetry::MetricsEndpoint metrics_endpoint;
+    long long metrics_port = netgym::env_i64("GENET_METRICS_PORT", -1, 0,
+                                             65535);
+    if (options.count("metrics-port") != 0U) {
+      metrics_port = netgym::parse_i64_in_range(
+          "--metrics-port", options.at("metrics-port"), 0, 65535);
+    }
+    if (metrics_port >= 0) {
+      metrics_endpoint.start(static_cast<int>(metrics_port));
+      std::printf("metrics: listening on 127.0.0.1:%d\n",
+                  metrics_endpoint.port());
+      if (options.count("metrics-port-file") != 0U) {
+        std::ofstream mpf(options.at("metrics-port-file"));
+        if (!mpf) {
+          throw std::runtime_error("cannot write " +
+                                   options.at("metrics-port-file"));
+        }
+        mpf << metrics_endpoint.port() << "\n";
+      }
+    }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);

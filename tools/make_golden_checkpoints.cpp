@@ -22,6 +22,7 @@
 #include "genet/curriculum.hpp"
 #include "netgym/checkpoint.hpp"
 #include "netgym/rng.hpp"
+#include "netgym/tracing.hpp"
 #include "nn/mlp.hpp"
 #include "rl/policy.hpp"
 #include "serve/policy_store.hpp"
@@ -119,6 +120,11 @@ void write_dist_frames_golden(const std::string& dir) {
   dist::Hello hello;
   hello.math_mode = "strict";
   hello.threads = 2;
+  hello.trace_id = 987654321098765ull;
+  hello.worker_ordinal = 1;
+  hello.trace_enabled = 1;
+  hello.trace_capacity = 4096;
+  hello.trace_ship_max_bytes = 1048576;
   dist::encode_hello(bytes, hello);
   dist::HelloOk hello_ok;
   hello_ok.pid = 4242;
@@ -131,6 +137,7 @@ void write_dist_frames_golden(const std::string& dir) {
   setup.config = {0.5, -0.0, 1.25, std::numeric_limits<double>::denorm_min()};
   setup.policy_params = {1.0, -2.5, 0.0078125};
   setup.greedy = 1;
+  setup.parent_span = 55;
   dist::encode_eval_setup(bytes, setup);
   dist::ItemsRequest items;
   items.eval_id = 7;
@@ -142,16 +149,36 @@ void write_dist_frames_golden(const std::string& dir) {
   values.eval_id = 7;
   values.first = 3;
   values.values = {-0.125, 3.141592653589793};
+  // Span batch with a steady-clock ns timestamp above 2^53: pins the exact
+  // i64 array encoding (a double would silently truncate it).
+  netgym::tracing::RemoteSpan span0;
+  span0.name = "worker.eval_item";
+  span0.cat = "dist";
+  span0.tid = 0;
+  span0.start_ns = 9123456789012345678ll;
+  span0.dur_ns = 250000;
+  span0.index = 3;
+  netgym::tracing::RemoteSpan span1;
+  span1.name = "worker.eval_item";
+  span1.cat = "dist";
+  span1.tid = 1;
+  span1.start_ns = 9123456789012595678ll;
+  span1.dur_ns = 1000;
+  span1.index = 4;
+  values.spans.spans = {span0, span1};
+  values.spans.dropped = 1;
   dist::encode_items_result(bytes, values);
   dist::TrainRequest train;
   train.train_id = 9;
   train.adapter_spec = "cc/2";
   train.iterations = 120;
   train.seed = 11;
+  train.parent_span = 55;
   dist::encode_train_request(bytes, train);
   dist::TrainResult trained;
   trained.train_id = 9;
   trained.params = {0.0, -0.5, 6.0};
+  trained.spans.dropped = 2;  // empty batch, only a loss count
   dist::encode_train_result(bytes, trained);
   dist::encode_shutdown(bytes);
 
