@@ -314,9 +314,9 @@ void Coordinator::register_remote_spans(std::size_t worker_index,
   if (batch.spans.empty()) return;
   registry.counter("dist.trace_spans_shipped")
       .add(static_cast<std::int64_t>(batch.spans.size()));
-  for (auto& span : batch.spans) {
-    if (span.parent_id == 0) span.parent_id = current_parent_;
-  }
+  // Spans arrive already parented: the worker stamps them from the
+  // dispatch's parent_span before shipping, so a batch can never be
+  // mis-attributed to whichever dispatch happens to be in flight on arrival.
   netgym::tracing::add_remote_spans(
       static_cast<std::int64_t>(workers_[worker_index].pid),
       "worker-" + std::to_string(worker_index), std::move(batch.spans));
@@ -445,7 +445,6 @@ std::vector<double> Coordinator::eval_items(
   const std::uint64_t dispatch_span =
       netgym::tracing::enabled() ? netgym::tracing::next_span_id() : 0;
   netgym::tracing::TraceSpan span("dist.eval", "dist", -1, dispatch_span);
-  current_parent_ = dispatch_span;
   const std::size_t n = request.stream_states.size();
   const std::uint64_t eval_id = ++eval_seq_;
   const std::int64_t reassigned_before = reassigned_;
@@ -506,7 +505,6 @@ std::vector<std::vector<double>> Coordinator::train_models(
   const std::uint64_t dispatch_span =
       netgym::tracing::enabled() ? netgym::tracing::next_span_id() : 0;
   netgym::tracing::TraceSpan span("dist.train", "dist", -1, dispatch_span);
-  current_parent_ = dispatch_span;
   const std::size_t n = requests.size();
   if (n == 0) return {};
   const std::uint64_t batch_base = train_seq_;

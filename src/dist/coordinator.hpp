@@ -113,8 +113,9 @@ class Coordinator {
                      on_result);
 
   /// Merge a result frame's piggybacked span batch into the local tracing
-  /// registry under the worker's pid lane, parenting unparented spans to the
-  /// dispatching dist.eval/dist.train span. Observational only.
+  /// registry under the worker's pid lane. Spans arrive pre-parented (the
+  /// worker stamps them from the dispatch's parent_span before shipping),
+  /// so this only counts and registers them. Observational only.
   void register_remote_spans(std::size_t worker_index, SpanBatch batch);
 
   Options options_;
@@ -122,8 +123,7 @@ class Coordinator {
   std::int64_t reassigned_ = 0;
   std::uint64_t eval_seq_ = 0;
   std::uint64_t train_seq_ = 0;
-  std::uint64_t trace_id_ = 0;        ///< run-wide trace correlation id
-  std::uint64_t current_parent_ = 0;  ///< span id of the in-flight dispatch
+  std::uint64_t trace_id_ = 0;  ///< run-wide trace correlation id
   bool kill_injected_ = false;
   bool hooks_installed_ = false;
 

@@ -26,19 +26,22 @@ std::string span_key(const char* field, std::size_t i) {
   return std::string("span/") + field + "/" + std::to_string(i);
 }
 
-/// Span batches ship as four parallel i64 arrays plus indexed name/cat
+/// Span batches ship as six parallel i64 arrays plus indexed name/cat
 /// strings; wire tids/timestamps are exact i64s (a double would truncate
-/// steady_clock ns above 2^53).
+/// steady_clock ns above 2^53), and span/parent ids are u64s carried as
+/// their i64 bit patterns so the hierarchy survives the trip.
 void put_span_batch(ckpt::Snapshot& snap, const SpanBatch& batch) {
   const auto n = static_cast<std::int64_t>(batch.spans.size());
   snap.put_i64("spans/count", n);
   snap.put_i64("spans/dropped", batch.dropped);
   if (n == 0) return;
-  std::vector<std::int64_t> tids, starts, durs, indexes;
+  std::vector<std::int64_t> tids, starts, durs, indexes, span_ids, parents;
   tids.reserve(batch.spans.size());
   starts.reserve(batch.spans.size());
   durs.reserve(batch.spans.size());
   indexes.reserve(batch.spans.size());
+  span_ids.reserve(batch.spans.size());
+  parents.reserve(batch.spans.size());
   for (std::size_t i = 0; i < batch.spans.size(); ++i) {
     const auto& s = batch.spans[i];
     snap.put_string(span_key("name", i), s.name);
@@ -47,11 +50,15 @@ void put_span_batch(ckpt::Snapshot& snap, const SpanBatch& batch) {
     starts.push_back(s.start_ns);
     durs.push_back(s.dur_ns);
     indexes.push_back(s.index);
+    span_ids.push_back(static_cast<std::int64_t>(s.span_id));
+    parents.push_back(static_cast<std::int64_t>(s.parent_id));
   }
   snap.put_i64s("spans/tids", std::move(tids));
   snap.put_i64s("spans/starts", std::move(starts));
   snap.put_i64s("spans/durs", std::move(durs));
   snap.put_i64s("spans/indexes", std::move(indexes));
+  snap.put_i64s("spans/span_ids", std::move(span_ids));
+  snap.put_i64s("spans/parents", std::move(parents));
 }
 
 SpanBatch get_span_batch(const ckpt::Snapshot& snap) {
@@ -63,9 +70,12 @@ SpanBatch get_span_batch(const ckpt::Snapshot& snap) {
   const auto& starts = snap.get_i64s("spans/starts");
   const auto& durs = snap.get_i64s("spans/durs");
   const auto& indexes = snap.get_i64s("spans/indexes");
+  const auto& span_ids = snap.get_i64s("spans/span_ids");
+  const auto& parents = snap.get_i64s("spans/parents");
   const auto count = static_cast<std::size_t>(n);
   if (tids.size() != count || starts.size() != count ||
-      durs.size() != count || indexes.size() != count) {
+      durs.size() != count || indexes.size() != count ||
+      span_ids.size() != count || parents.size() != count) {
     throw serve::ProtocolError("dist span batch: array shape mismatch");
   }
   batch.spans.reserve(count);
@@ -77,6 +87,8 @@ SpanBatch get_span_batch(const ckpt::Snapshot& snap) {
     s.start_ns = starts[i];
     s.dur_ns = durs[i];
     s.index = indexes[i];
+    s.span_id = static_cast<std::uint64_t>(span_ids[i]);
+    s.parent_id = static_cast<std::uint64_t>(parents[i]);
     batch.spans.push_back(std::move(s));
   }
   return batch;

@@ -24,7 +24,10 @@ namespace dist {
 
 /// Bumped on any incompatible change to the dist message payloads; carried
 /// in the hello exchange (serve::kProtocolVersion covers the framing layer).
-inline constexpr std::int64_t kDistProtocolVersion = 1;
+/// v2: hello gained the trace context, dispatch frames gained `parent_span`,
+/// and result frames gained span batches (all mandatory keys, so a v1 peer
+/// must be rejected by version, not by a missing-key decode error).
+inline constexpr std::int64_t kDistProtocolVersion = 2;
 
 /// Coordinator->worker greeting: pin the numeric environment so a worker
 /// computes exactly what the coordinator would have computed in-process,
@@ -70,7 +73,10 @@ struct ItemsRequest {
 };
 
 /// Serialized span batch piggybacked on result frames (never a second
-/// serializer: the batch rides inside the result's Snapshot blob). `dropped`
+/// serializer: the batch rides inside the result's Snapshot blob). Spans
+/// ship with their `span_id`/`parent_id` intact -- the worker parents its
+/// top-level spans from the request's `parent_span` before shipping, so a
+/// batch is self-describing and never re-parented on arrival. `dropped`
 /// counts spans lost worker-side to ring overflow or the ship-size cap.
 struct SpanBatch {
   std::vector<netgym::tracing::RemoteSpan> spans;

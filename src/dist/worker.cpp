@@ -106,13 +106,19 @@ TrainResult run_train(const TrainRequest& request) {
 /// Drain this worker's span rings into a result-frame batch, dropping the
 /// oldest spans (and counting them) if the encoded batch would exceed the
 /// coordinator's ship-size cap -- backpressure never grows a result frame
-/// without bound.
-SpanBatch collect_spans(std::int64_t max_bytes) {
+/// without bound. Unparented spans are parented here, from the `parent_span`
+/// the request being answered carried: the worker knows exactly which
+/// dispatch its spans belong to, so the batch ships self-describing and the
+/// coordinator never has to guess from arrival timing.
+SpanBatch collect_spans(std::int64_t max_bytes, std::uint64_t parent_span) {
   SpanBatch batch;
   if (!netgym::tracing::enabled()) return batch;
   auto collected = netgym::tracing::collect_and_reset();
   batch.dropped = static_cast<std::int64_t>(collected.dropped);
   batch.spans = std::move(collected.spans);
+  for (auto& span : batch.spans) {
+    if (span.parent_id == 0) span.parent_id = parent_span;
+  }
   if (max_bytes <= 0) return batch;
   // Conservative per-span wire estimate: strings hex-encode at 2 bytes per
   // byte and each span adds four i64 array slots plus key overhead.
@@ -186,13 +192,16 @@ int worker_main(int fd) {
             break;
           case serve::MsgType::kDistItems: {
             ItemsResult result = run_items(state, decode_items_request(*body));
-            result.spans = collect_spans(trace_ship_max_bytes);
+            result.spans =
+                collect_spans(trace_ship_max_bytes, state.setup.parent_span);
             encode_items_result(out, result);
             break;
           }
           case serve::MsgType::kDistTrain: {
-            TrainResult result = run_train(decode_train_request(*body));
-            result.spans = collect_spans(trace_ship_max_bytes);
+            const TrainRequest request = decode_train_request(*body);
+            TrainResult result = run_train(request);
+            result.spans =
+                collect_spans(trace_ship_max_bytes, request.parent_span);
             encode_train_result(out, result);
             break;
           }

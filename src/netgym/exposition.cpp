@@ -34,9 +34,15 @@ std::string sanitize_name(const std::string& name) {
 }
 
 void append_value(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // Prometheus 0.0.4 spells non-finite values out; also keeps the integer
+    // fast path below from casting NaN/Inf to i64 (undefined behavior).
+    out += std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
   char buf[40];
-  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
-      std::abs(v) < 1e15) {
+  if (std::abs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<std::int64_t>(v))) {
     std::snprintf(buf, sizeof(buf), "%" PRId64,
                   static_cast<std::int64_t>(v));
   } else {
@@ -169,6 +175,15 @@ void MetricsEndpoint::serve_loop(int wake_fd) {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int conn = ::accept(fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Bound every read/write on the connection: a client that connects and
+    // then stalls must not wedge the single serving thread (and with it
+    // stop(), which joins this thread) -- it gets timed out and dropped.
+    timeval io_timeout{};
+    io_timeout.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                 sizeof(io_timeout));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                 sizeof(io_timeout));
     // Drain the request head (best-effort: stop at the blank line or once
     // 4 KiB arrived); the response is the same regardless of path or verb.
     char buf[4096];
@@ -190,7 +205,11 @@ void MetricsEndpoint::serve_loop(int wake_fd) {
         std::to_string(body.size()) + "\r\n\r\n" + body;
     std::size_t sent = 0;
     while (sent < resp.size()) {
-      const ssize_t n = ::write(conn, resp.data() + sent, resp.size() - sent);
+      // MSG_NOSIGNAL, never raw write: the host may be `genet train`, which
+      // does not ignore SIGPIPE, and a scraper hanging up mid-response must
+      // not kill a training run.
+      const ssize_t n = ::send(conn, resp.data() + sent, resp.size() - sent,
+                               MSG_NOSIGNAL);
       if (n <= 0) break;
       sent += static_cast<std::size_t>(n);
     }

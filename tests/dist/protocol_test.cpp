@@ -3,7 +3,7 @@
 // byte-dribbled and torn input, oversized and corrupt frames are rejected
 // before any message object exists (decoders are pure: they either return a
 // fully validated message or throw), and the committed golden fixture pins
-// the bytes a v1 build wrote so future builds keep reading them.
+// the bytes a v2 build wrote so future builds keep reading them.
 
 #include "dist/protocol.hpp"
 
@@ -146,6 +146,9 @@ TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
   span.start_ns = (1ll << 53) + 1;
   span.dur_ns = 777;
   span.index = 2;
+  // Ids above 2^63 pin the u64-as-i64-bit-pattern array encoding.
+  span.span_id = 0xDEADBEEF00000042ull;
+  span.parent_id = 0xFFFFFFFFFFFFFFFEull;
   values.spans.spans = {span};
   values.spans.dropped = 4;
   std::string out;
@@ -179,6 +182,8 @@ TEST(DistProtocol, ResultAndTrainMessagesRoundtrip) {
   EXPECT_EQ(v.spans.spans[0].start_ns, (1ll << 53) + 1);
   EXPECT_EQ(v.spans.spans[0].dur_ns, 777);
   EXPECT_EQ(v.spans.spans[0].index, 2);
+  EXPECT_EQ(v.spans.spans[0].span_id, 0xDEADBEEF00000042ull);
+  EXPECT_EQ(v.spans.spans[0].parent_id, 0xFFFFFFFFFFFFFFFEull);
   EXPECT_EQ(v.spans.dropped, 4);
   const dist::TrainRequest t = dist::decode_train_request(*reader.next());
   EXPECT_EQ(t.train_id, 3u);
@@ -213,6 +218,8 @@ TEST(DistProtocol, SpanBatchArrayShapeMismatchRejected) {
   snap.put_i64s("spans/starts", {0, 0});
   snap.put_i64s("spans/durs", {0, 0});
   snap.put_i64s("spans/indexes", {0, 0});
+  snap.put_i64s("spans/span_ids", {0, 0});
+  snap.put_i64s("spans/parents", {0, 0});
   std::string out;
   serve::encode_payload_frame(out, serve::MsgType::kDistItemsOk,
                               netgym::checkpoint::encode_file_bytes(snap),
@@ -332,13 +339,13 @@ TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
   // neither the framing, the Snapshot field layout, nor the CRC computation
   // can drift without this test failing.
   const std::string bytes =
-      read_file(std::string(GENET_TEST_DATA_DIR) + "/golden_dist_frames_v1.bin");
+      read_file(std::string(GENET_TEST_DATA_DIR) + "/golden_dist_frames_v2.bin");
   ASSERT_FALSE(bytes.empty());
   const auto bodies = reassemble_bytewise(bytes, serve::kMaxDistFrameBytes);
   ASSERT_EQ(bodies.size(), 8u);
 
   const dist::Hello hello = dist::decode_hello(bodies[0]);
-  EXPECT_EQ(hello.version, 1);
+  EXPECT_EQ(hello.version, 2);
   EXPECT_EQ(hello.math_mode, "strict");
   EXPECT_EQ(hello.threads, 2);
   EXPECT_EQ(hello.trace_id, 987654321098765ull);
@@ -372,8 +379,11 @@ TEST(DistProtocol, GoldenFixtureDecodesAndReencodesByteIdentically) {
   EXPECT_EQ(values.spans.spans[0].start_ns, 9123456789012345678ll);
   EXPECT_EQ(values.spans.spans[0].dur_ns, 250000);
   EXPECT_EQ(values.spans.spans[0].index, 3);
+  EXPECT_EQ(values.spans.spans[0].span_id, 0x8000000000000123ull);
+  EXPECT_EQ(values.spans.spans[0].parent_id, 55u);
   EXPECT_EQ(values.spans.spans[1].tid, 1);
   EXPECT_EQ(values.spans.spans[1].start_ns, 9123456789012595678ll);
+  EXPECT_EQ(values.spans.spans[1].parent_id, 55u);
   EXPECT_EQ(values.spans.dropped, 1);
   const dist::TrainRequest train = dist::decode_train_request(bodies[5]);
   EXPECT_EQ(train.adapter_spec, "cc/2");

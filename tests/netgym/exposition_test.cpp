@@ -13,7 +13,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,20 @@ TEST(Exposition, HistogramRendersAsSummaryWithQuantiles) {
             std::string::npos);
   EXPECT_NE(text.find("serve_phase_total_s_sum 5\n"), std::string::npos);
   EXPECT_NE(text.find("serve_phase_total_s_count 100\n"), std::string::npos);
+}
+
+TEST(Exposition, NonFiniteAndHugeValuesRenderSafely) {
+  // NaN/Inf gauges must come out as the Prometheus spellings (and must not
+  // hit the integer fast path, whose double->i64 cast would be undefined
+  // for them); finite values beyond i64 range take the %g branch.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string text = telemetry::render_prometheus(
+      {counter_entry("m_nan", std::nan("")), counter_entry("m_pinf", inf),
+       counter_entry("m_ninf", -inf), counter_entry("m_huge", 1e300)});
+  EXPECT_NE(text.find("m_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("m_pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("m_ninf -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("e+300\n"), std::string::npos);
 }
 
 TEST(Exposition, EmptyHistogramOmitsQuantileSamples) {
@@ -124,6 +140,30 @@ TEST(Exposition, LiveEndpointServesRegistrySnapshotOverHttp) {
   endpoint.stop();
   EXPECT_FALSE(endpoint.running());
   endpoint.stop();  // idempotent
+}
+
+TEST(Exposition, StalledClientCannotWedgeTheEndpoint) {
+  telemetry::MetricsEndpoint endpoint;
+  endpoint.start(0);
+  // Connect and send nothing: without SO_RCVTIMEO on the accepted socket
+  // this parked the single serving thread in read() forever, starving every
+  // later scrape and hanging stop() in thread_.join().
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port()));
+  ASSERT_EQ(
+      ::connect(stalled, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // A well-behaved scrape queued behind the stalled one must still be
+  // answered (after the ~2s receive timeout expires), and stop() must
+  // return rather than hang.
+  EXPECT_NE(http_get(endpoint.port()).find("200 OK"), std::string::npos);
+  endpoint.stop();
+  EXPECT_FALSE(endpoint.running());
+  ::close(stalled);
 }
 
 TEST(Exposition, StartRejectsUnbindablePort) {

@@ -158,6 +158,9 @@ void write_dist_frames_golden(const std::string& dir) {
   span0.start_ns = 9123456789012345678ll;
   span0.dur_ns = 250000;
   span0.index = 3;
+  // High-bit span id: pins the u64-as-i64-bit-pattern encoding exactly.
+  span0.span_id = 0x8000000000000123ull;
+  span0.parent_id = 55;  // = the setup frame's parent_span
   netgym::tracing::RemoteSpan span1;
   span1.name = "worker.eval_item";
   span1.cat = "dist";
@@ -165,6 +168,7 @@ void write_dist_frames_golden(const std::string& dir) {
   span1.start_ns = 9123456789012595678ll;
   span1.dur_ns = 1000;
   span1.index = 4;
+  span1.parent_id = 55;
   values.spans.spans = {span0, span1};
   values.spans.dropped = 1;
   dist::encode_items_result(bytes, values);
@@ -182,7 +186,7 @@ void write_dist_frames_golden(const std::string& dir) {
   dist::encode_train_result(bytes, trained);
   dist::encode_shutdown(bytes);
 
-  const std::string path = dir + "/golden_dist_frames_v1.bin";
+  const std::string path = dir + "/golden_dist_frames_v2.bin";
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
     throw std::runtime_error("cannot write " + path);
